@@ -1,0 +1,12 @@
+"""Section 4.1 ablation — ordered DPP splits vs. random scattering."""
+
+from repro.experiments import dpp_order_ablation
+
+
+def test_dpp_order_ablation(experiment):
+    experiment(
+        dpp_order_ablation.run,
+        dpp_order_ablation.format_rows,
+        dpp_order_ablation.check_shape,
+        "Section 4.1: ordered vs. random DPP splits",
+    )

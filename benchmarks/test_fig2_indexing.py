@@ -1,0 +1,12 @@
+"""Figure 2 — indexing time vs. published volume, five series."""
+
+from repro.experiments import fig2_indexing
+
+
+def test_fig2_indexing(experiment):
+    experiment(
+        lambda: fig2_indexing.run(scale=0.0005, peer_scale=0.1),
+        fig2_indexing.format_rows,
+        fig2_indexing.check_shape,
+        "Figure 2: indexing time",
+    )

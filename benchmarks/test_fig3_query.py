@@ -1,0 +1,12 @@
+"""Figure 3 — index-query response time with and without the DPP."""
+
+from repro.experiments import fig3_query
+
+
+def test_fig3_query(experiment):
+    experiment(
+        lambda: fig3_query.run(scale=0.001, num_peers=30),
+        fig3_query.format_rows,
+        fig3_query.check_shape,
+        "Figure 3: query response time",
+    )

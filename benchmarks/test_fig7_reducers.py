@@ -1,0 +1,12 @@
+"""Figure 7 — normalized data volume of the Bloom reducer strategies."""
+
+from repro.experiments import fig7_reducers
+
+
+def test_fig7_reducers(experiment):
+    experiment(
+        lambda: fig7_reducers.run(num_peers=16, docs=30, doc_bytes=15_000),
+        fig7_reducers.format_rows,
+        fig7_reducers.check_shape,
+        "Figure 7: Bloom-based strategies",
+    )

@@ -1,0 +1,12 @@
+"""Figure 9 — Fundex query times on the INEX-like collection."""
+
+from repro.experiments import fig9_fundex
+
+
+def test_fig9_fundex(experiment):
+    experiment(
+        lambda: fig9_fundex.run(scale=0.005, num_peers=8, matches=4),
+        fig9_fundex.format_rows,
+        fig9_fundex.check_shape,
+        "Figure 9: Fundex query times",
+    )

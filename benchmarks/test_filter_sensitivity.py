@@ -1,0 +1,21 @@
+"""Section 5.4 — AB/DB filter sensitivity to the basic Bloom rate."""
+
+from repro.experiments import filter_sensitivity
+
+
+def test_filter_sensitivity(experiment):
+    experiment(
+        lambda: filter_sensitivity.run(docs=20),
+        filter_sensitivity.format_rows,
+        filter_sensitivity.check_shape,
+        "Section 5.4: filter sensitivity",
+    )
+
+
+def test_filter_same_size_psi_comparison(experiment):
+    experiment(
+        lambda: filter_sensitivity.run_same_size(docs=20),
+        filter_sensitivity.format_same_size,
+        filter_sensitivity.check_same_size,
+        "Section 5.4: psi vs single trace at equal filter size",
+    )

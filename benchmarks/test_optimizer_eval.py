@@ -1,0 +1,12 @@
+"""Strategy-optimizer evaluation (Sections 5.4/8 cost model)."""
+
+from repro.experiments import optimizer_eval
+
+
+def test_optimizer_eval(experiment):
+    experiment(
+        optimizer_eval.run,
+        optimizer_eval.format_rows,
+        optimizer_eval.check_shape,
+        "Strategy optimizer vs. fixed strategies",
+    )

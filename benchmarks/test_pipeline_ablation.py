@@ -1,0 +1,12 @@
+"""Section 3 ablation — blocking vs. pipelined get."""
+
+from repro.experiments import pipeline_ablation
+
+
+def test_pipeline_ablation(experiment):
+    experiment(
+        lambda: pipeline_ablation.run(docs=30, num_peers=12),
+        pipeline_ablation.format_rows,
+        lambda r: pipeline_ablation.check_shape(r, min_ttfa_gain=2.0),
+        "Section 3: pipelined get ablation",
+    )

@@ -1,0 +1,12 @@
+"""Section 4.3 — posting-list skew of the DBLP-like corpus."""
+
+from repro.experiments import posting_skew
+
+
+def test_posting_skew(experiment):
+    experiment(
+        lambda: posting_skew.run(sample_bytes=400_000),
+        posting_skew.format_rows,
+        posting_skew.check_shape,
+        "Section 4.3: posting-list skew",
+    )

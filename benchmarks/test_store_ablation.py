@@ -1,0 +1,12 @@
+"""Section 3 ablation — PAST-style store vs. B+-tree store with append."""
+
+from repro.experiments import store_ablation
+
+
+def test_store_ablation(experiment):
+    experiment(
+        lambda: store_ablation.run(list_sizes=(5_000, 20_000, 80_000)),
+        store_ablation.format_rows,
+        store_ablation.check_shape,
+        "Section 3: store replacement ablation",
+    )

@@ -1,0 +1,29 @@
+"""Table 1 — average dyadic cover size per data set."""
+
+from repro.experiments import table1_dyadic
+
+#: the paper's Table 1, for side-by-side comparison
+PAPER = {
+    "IMDB": (1.37, 32),
+    "XMark": (1.50, 34),
+    "SwissProt": (1.29, 42),
+    "NASA": (1.55, 38),
+    "DBLP": (1.23, 40),
+}
+
+
+def check(rows):
+    for row in rows:
+        paper_cover, paper_two_l = PAPER[row["dataset"]]
+        assert abs(row["avg_cover"] - paper_cover) < 0.25, row
+        assert abs(row["two_l"] - paper_two_l) <= 4, row
+    return True
+
+
+def test_table1_dyadic_cover(experiment):
+    experiment(
+        lambda: table1_dyadic.run(scale=0.02),
+        table1_dyadic.format_rows,
+        check,
+        "Table 1: dyadic cover size",
+    )

@@ -1,0 +1,12 @@
+"""Section 4.3 — total traffic of the 50-query workload vs. indexed volume."""
+
+from repro.experiments import traffic
+
+
+def test_traffic_consumption(experiment):
+    experiment(
+        lambda: traffic.run(scale=0.0003, num_peers=20, num_queries=50),
+        traffic.format_rows,
+        traffic.check_shape,
+        "Section 4.3: traffic consumption",
+    )

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Bibliography search with Bloom-filter reducers.
+
+Publishes a DBLP-like bibliography across peers, then runs the paper's
+Figure 7 queries under every filtering strategy, showing how Structural
+Bloom Filters cut transferred volume without changing the answers.
+
+Run with:  python examples/bibliography_search.py
+"""
+
+from repro import KadopConfig, KadopNetwork
+from repro.workloads.dblp import DblpGenerator
+
+QUERIES = [
+    ('//article[. contains "Ullman"]', ()),
+    ("//article//author//Ullman", ("Ullman",)),
+    ("//article[//title]//author//Ullman", ("Ullman",)),
+]
+
+STRATEGIES = [None, "ab", "db", "bloom", "subquery"]
+
+
+def main():
+    config = KadopConfig(replication=1, ab_fp_rate=0.20, db_fp_rate=0.01)
+    net = KadopNetwork.create(num_peers=16, config=config)
+    gen = DblpGenerator(seed=8)
+    print("publishing a DBLP-like bibliography ...")
+    for i, doc in enumerate(gen.documents(30)):
+        net.peers[i % 8].publish(doc, uri="dblp:%d" % i)
+    print("indexed %d documents on %d peers\n" % (30, 16))
+
+    for query, keywords in QUERIES:
+        print("query: %s" % query)
+        baseline_postings = None
+        for strategy in STRATEGIES:
+            answers, report = net.query_with_report(
+                query, keyword_steps=keywords, strategy=strategy
+            )
+            postings = report.traffic.get("postings", 0)
+            filters = report.traffic.get("filters", 0)
+            if strategy is None:
+                baseline_postings = postings
+            normalized = (postings + filters) / max(baseline_postings, 1)
+            print(
+                "  %-10s answers=%-3d postings=%-8d filters=%-7d normalized=%.2f"
+                % (strategy or "baseline", len(answers), postings, filters, normalized)
+            )
+        print()
+
+    print(
+        "Every strategy returns identical answers; the normalized column is\n"
+        "the paper's Figure 7 metric (index-phase bytes / baseline bytes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

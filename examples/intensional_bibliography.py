@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Intensional data with the Fundex (Section 6 of the paper).
+
+Publication records keep their abstracts in separate included files
+(XML external entities).  The naive approach misses matches hidden in the
+includes; the brutal one floods the network; the Fundex answers completely
+by indexing each include once under a functional id and completing
+potential answers through the Rev relation.  In-lining and representative-
+data-indexing round out the comparison.
+
+Run with:  python examples/intensional_bibliography.py
+"""
+
+from repro import KadopConfig, KadopNetwork
+from repro.workloads.inex import InexGenerator
+
+COLLECTION = 60
+
+
+def build(inline):
+    net = KadopNetwork.create(num_peers=10, config=KadopConfig(replication=1))
+    gen = InexGenerator(seed=17, match_count=5, collection_size=COLLECTION)
+    gen.register_abstracts(net, COLLECTION)
+    for i in range(COLLECTION):
+        net.peers[i % 5].publish(gen.document(i), uri="inex:%d" % i, inline=inline)
+    return net, gen
+
+
+def main():
+    net, gen = build(inline=False)
+    query = gen.query()
+    pattern = net.parse(query)
+    print("collection: %d records, each including a separate abstract file" % COLLECTION)
+    print("query: %s\n" % query)
+
+    print("%-24s %8s %12s %14s %10s" % ("mode", "answers", "candidates", "sim. time (s)", "f-evals"))
+    for mode in ("naive", "brutal", "fundex", "representative"):
+        answers, report = net.fundex.query(pattern, net.peers[0], mode=mode)
+        print(
+            "%-24s %8d %12d %14.3f %10d"
+            % (
+                mode,
+                len(answers),
+                report.candidate_docs,
+                report.response_time_s,
+                report.functional_docs_evaluated,
+            )
+        )
+
+    inline_net, _ = build(inline=True)
+    answers, report = inline_net.query_with_report(query)
+    print(
+        "%-24s %8d %12d %14.3f %10s"
+        % ("inlining (publish-time)", len(answers), report.candidate_docs,
+           report.response_time_s, "-")
+    )
+
+    print(
+        "\nnaive is incomplete (misses every answer hidden in an include);\n"
+        "fundex and representative return exactly the inlined answers, at\n"
+        "query-time cost; representative prunes functional evaluations via\n"
+        "label skeletons; inlining pays at publish time instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: a tiny KadoP network, publishing and querying XML.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import KadopConfig, KadopNetwork
+
+
+def main():
+    # A network of 8 peers connected by the DHT (everything in-process;
+    # simulated time and traffic are accounted by the cost model).
+    net = KadopNetwork.create(num_peers=8, config=KadopConfig(replication=2))
+
+    # Peers publish XML documents: they keep the document and push its
+    # postings into the distributed Term index.
+    alice, bob = net.peers[0], net.peers[1]
+    alice.publish(
+        "<library>"
+        "<book><title>Principles of Distributed Databases</title>"
+        "<author>Ozsu</author><author>Valduriez</author></book>"
+        "<book><title>Foundations of Databases</title>"
+        "<author>Abiteboul</author><author>Hull</author><author>Vianu</author>"
+        "</book>"
+        "</library>",
+        uri="lib://alice/books",
+    )
+    bob.publish(
+        "<library>"
+        "<article><title>XML processing in DHT networks</title>"
+        "<author>Abiteboul</author></article>"
+        "</library>",
+        uri="lib://bob/articles",
+    )
+
+    # Tree-pattern queries (an XPath subset) run in two phases: an index
+    # query over posting lists locates candidate documents, then the
+    # holding peers compute exact answers.
+    for query in (
+        "//library//book//author",
+        '//book[. contains "databases"]//author',
+        "//library//author//Abiteboul",  # 'Abiteboul' as a keyword step
+    ):
+        keywords = {"Abiteboul"} if "Abiteboul" in query else ()
+        answers, report = net.query_with_report(query, keyword_steps=keywords)
+        print("query: %s" % query)
+        print("  answers: %d" % len(answers))
+        for answer in answers:
+            doc = net.peers[answer.peer].documents[answer.doc]
+            print("    in %s (peer %d)" % (doc.uri, answer.peer))
+        print(
+            "  simulated response: %.1f ms, traffic: %d bytes, candidates: %d"
+            % (report.response_time_s * 1e3, report.total_bytes, report.candidate_docs)
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Reproduction of "XML processing in DHT networks" (ICDE 2008).
+
+This package implements the KadoP peer-to-peer XML indexing and query
+processing system described in the paper, together with every substrate it
+depends on:
+
+* a Pastry-style distributed hash table (:mod:`repro.dht`),
+* local index stores, including a paged B+-tree (:mod:`repro.storage`),
+* an XML data model with structural identifiers (:mod:`repro.xmldata`),
+* posting lists and the distributed ``Term`` relation (:mod:`repro.postings`),
+* tree-pattern queries and holistic twig joins (:mod:`repro.query`),
+* the DPP distributed posting partitioning index (:mod:`repro.index`),
+* Structural Bloom Filters and Bloom-based reducers (:mod:`repro.bloom`),
+* the Fundex index for intensional data (:mod:`repro.fundex`),
+* a deterministic network cost model (:mod:`repro.sim`), and
+* the workload generators and experiment drivers used to regenerate every
+  table and figure of the paper (:mod:`repro.workloads`,
+  :mod:`repro.experiments`).
+
+The most convenient entry point is :class:`repro.kadop.KadopNetwork`:
+
+>>> from repro import KadopNetwork
+>>> net = KadopNetwork.create(num_peers=8, seed=7)
+>>> peer = net.peers[0]
+>>> _ = peer.publish("<a><b>hello world</b></a>", uri="doc:1")
+>>> answers = net.query("//a//b")
+>>> len(answers)
+1
+"""
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.postings.posting import Posting
+from repro.query.pattern import TreePattern
+from repro.query.xpath import parse_query
+from repro.xmldata.parser import parse_document
+
+__all__ = [
+    "KadopConfig",
+    "KadopNetwork",
+    "Posting",
+    "TreePattern",
+    "parse_query",
+    "parse_document",
+]
+
+__version__ = "1.0.0"

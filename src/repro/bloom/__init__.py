@@ -1,0 +1,27 @@
+"""Structural Bloom Filters (Section 5 of the paper).
+
+* :mod:`repro.bloom.dyadic` — dyadic interval decomposition: covers
+  ``D[x,y]``, containers ``Dc[x,y]``;
+* :mod:`repro.bloom.filter` — the basic Bloom filter with seeded hashing
+  and optimal sizing;
+* :mod:`repro.bloom.structural` — Ancestor and Descendant Bloom Filters
+  with the ψ trace function;
+* :mod:`repro.bloom.reducers` — the AB Reducer, DB Reducer, Bloom Reducer
+  and Sub-query Reducer query strategies (Section 5.3);
+* :mod:`repro.bloom.analysis` — false-positive-rate formulas (Section 5.1).
+"""
+
+from repro.bloom.dyadic import dyadic_cover, dyadic_containers, point_chain
+from repro.bloom.filter import BloomFilter
+from repro.bloom.structural import AncestorBloomFilter, DescendantBloomFilter
+from repro.bloom.reducers import BloomReducers
+
+__all__ = [
+    "dyadic_cover",
+    "dyadic_containers",
+    "point_chain",
+    "BloomFilter",
+    "AncestorBloomFilter",
+    "DescendantBloomFilter",
+    "BloomReducers",
+]

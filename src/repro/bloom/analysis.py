@@ -1,0 +1,57 @@
+"""False-positive analysis of Structural Bloom Filters (Section 5.1).
+
+Implements the paper's formulas:
+
+* the basic Bloom rate ``fp = (1 - e^(-kn/m))^k``;
+* the AB filter bound ``fp_A <= 1 - prod_{0<=j<=l} (1 - fp)^{ψ(j)}``;
+* the per-level *expected effect* ``2^j * fp^{ψ(j)}`` that motivates
+  ψ(j) = ceil(1 + j/c): with ``fp < 1/2^c`` every level's expected effect
+  is bounded by ``1/2^c`` (the "balancing" property).
+"""
+
+import math
+
+from repro.bloom.structural import psi
+
+
+def basic_fp_rate(bits, hashes, inserted):
+    """The standard Bloom false-positive probability."""
+    if inserted == 0:
+        return 0.0
+    return (1.0 - math.exp(-hashes * inserted / bits)) ** hashes
+
+
+def ab_fp_bound(basic_fp, l, psi_c):
+    """Upper bound on the AB filter's false-positive rate (worst case k=1)."""
+    prod = 1.0
+    for level in range(l + 1):
+        prod *= (1.0 - basic_fp) ** psi(level, psi_c)
+    return 1.0 - prod
+
+
+def level_effect(basic_fp, level, psi_c):
+    """Expected damage of a level-``j`` collision: ``2^j * fp^{ψ(j)}``."""
+    return (2**level) * (basic_fp ** psi(level, psi_c))
+
+
+def is_balanced(basic_fp, l, psi_c):
+    """The paper's balancing property: every level's expected effect is
+    bounded by ``1 / 2^psi_c`` whenever ``fp < 1 / 2^psi_c``."""
+    bound = 1.0 / (2**psi_c)
+    if basic_fp >= bound:
+        return False
+    return all(level_effect(basic_fp, j, psi_c) <= bound + 1e-12 for j in range(l + 1))
+
+
+def empirical_fp_rate(filtered, truly_matching, total):
+    """Fraction of non-matching postings wrongly kept by a filter.
+
+    ``filtered``        postings the filter kept,
+    ``truly_matching``  postings that really join,
+    ``total``           the unfiltered population size.
+    """
+    negatives = total - truly_matching
+    if negatives <= 0:
+        return 0.0
+    false_positives = filtered - truly_matching
+    return max(0.0, false_positives / negatives)

@@ -1,0 +1,79 @@
+"""Dyadic interval decomposition (Section 5, Figure 4).
+
+For a positive ``l``, the dyadic decomposition of ``[1, 2**l]`` at level
+``j`` partitions it into ``2**(l-j)`` intervals of length ``2**j``.  Any
+interval ``[x, y]`` has
+
+* a unique minimal representation as a union of at most ``2l`` disjoint
+  dyadic intervals — its *cover* ``D[x, y]``; and
+* at most ``l + 1`` dyadic *containers* ``Dc[x, y]`` (one per level, the
+  interval at that level containing ``x``, kept if it also covers ``y``).
+
+Intervals are represented as ``(lo, hi)`` integer pairs, inclusive.
+"""
+
+
+def level_for(max_value):
+    """The smallest ``l`` with ``2**l >= max_value`` (the filter's domain)."""
+    if max_value < 1:
+        raise ValueError("max_value must be >= 1")
+    l = 0
+    while (1 << l) < max_value:
+        l += 1
+    return l
+
+
+def interval_level(interval):
+    """The level of a dyadic interval (log2 of its width)."""
+    lo, hi = interval
+    width = hi - lo + 1
+    level = width.bit_length() - 1
+    if (1 << level) != width or (lo - 1) % width != 0:
+        raise ValueError("%r is not a dyadic interval" % (interval,))
+    return level
+
+
+def dyadic_cover(x, y, l):
+    """The minimal dyadic cover ``D[x, y]`` within ``[1, 2**l]``.
+
+    Greedy construction: repeatedly take the largest dyadic interval that
+    starts at the current position and does not overrun ``y``; this is the
+    unique minimal representation.
+    """
+    if not 1 <= x <= y <= (1 << l):
+        raise ValueError("interval [%d, %d] outside [1, 2**%d]" % (x, y, l))
+    cover = []
+    lo = x
+    while lo <= y:
+        width = 1
+        # grow while start stays aligned and the interval stays inside [x, y]
+        while (lo - 1) % (width * 2) == 0 and lo + width * 2 - 1 <= y:
+            width *= 2
+        cover.append((lo, lo + width - 1))
+        lo += width
+    return cover
+
+
+def dyadic_containers(x, y, l):
+    """All dyadic containers ``Dc[x, y]``: one candidate per level.
+
+    E.g. ``Dc[3, 4] = [(3, 4), (1, 4), (1, 8)]`` for l = 3.
+    """
+    if not 1 <= x <= y <= (1 << l):
+        raise ValueError("interval [%d, %d] outside [1, 2**%d]" % (x, y, l))
+    containers = []
+    for level in range(l + 1):
+        width = 1 << level
+        lo = ((x - 1) // width) * width + 1
+        hi = lo + width - 1
+        if y <= hi:
+            containers.append((lo, hi))
+    return containers
+
+
+def point_chain(x, l):
+    """The full container chain of the point ``x``: ``Dc[x, x]``.
+
+    Exactly ``l + 1`` nested dyadic intervals, one per level.
+    """
+    return dyadic_containers(x, x, l)

@@ -1,0 +1,97 @@
+"""The basic Bloom filter [Bloom 1970].
+
+A bit vector of ``m`` bits with ``k`` seeded hash functions.  Sizing uses
+the standard optima: for ``n`` expected insertions and target false
+positive rate ``p``, ``m = -n ln p / (ln 2)^2`` and ``k = (m/n) ln 2``.
+
+Items are arbitrary tuples of ints/strings; they are serialized to a
+canonical byte string before hashing, and the ``k`` functions are derived
+from one keyed BLAKE2 hash by double hashing, so filter contents are fully
+deterministic across runs.
+"""
+
+import math
+
+from repro.util.hashing import stable_hash
+
+
+def _canonical_bytes(item):
+    if isinstance(item, tuple):
+        return b"(" + b",".join(_canonical_bytes(part) for part in item) + b")"
+    if isinstance(item, int):
+        return b"i" + str(item).encode("ascii")
+    if isinstance(item, str):
+        return b"s" + item.encode("utf-8")
+    if isinstance(item, bytes):
+        return b"b" + item
+    raise TypeError("cannot hash item of type %s" % type(item).__name__)
+
+
+def optimal_params(expected_items, fp_rate):
+    """``(m_bits, k)`` minimizing space for the target rate."""
+    if expected_items < 1:
+        expected_items = 1
+    if not 0 < fp_rate < 1:
+        raise ValueError("fp_rate must be in (0, 1), got %r" % (fp_rate,))
+    m = max(8, int(math.ceil(-expected_items * math.log(fp_rate) / (math.log(2) ** 2))))
+    k = max(1, int(round((m / expected_items) * math.log(2))))
+    return m, k
+
+
+class BloomFilter:
+    """A deterministic Bloom filter over tuple items."""
+
+    def __init__(self, bits, hashes, seed=0):
+        if bits < 8:
+            bits = 8
+        if hashes < 1:
+            raise ValueError("need at least one hash function")
+        self.bits = bits
+        self.hashes = hashes
+        self.seed = seed
+        self._vector = bytearray((bits + 7) // 8)
+        self.inserted = 0
+
+    @classmethod
+    def for_items(cls, expected_items, fp_rate, seed=0):
+        """Construct with optimal parameters for the expected load."""
+        m, k = optimal_params(expected_items, fp_rate)
+        return cls(m, k, seed=seed)
+
+    def _positions(self, item):
+        data = _canonical_bytes(item)
+        h1 = stable_hash(data, seed=self.seed * 2 + 1, bits=64)
+        h2 = stable_hash(data, seed=self.seed * 2 + 2, bits=64) | 1
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def insert(self, item):
+        for pos in self._positions(item):
+            self._vector[pos >> 3] |= 1 << (pos & 7)
+        self.inserted += 1
+
+    def __contains__(self, item):
+        return all(
+            self._vector[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(item)
+        )
+
+    @property
+    def size_bytes(self):
+        """Wire size: the vector plus a small parameter header."""
+        return len(self._vector) + 16
+
+    @property
+    def fill_ratio(self):
+        ones = sum(bin(b).count("1") for b in self._vector)
+        return ones / self.bits
+
+    def expected_fp_rate(self):
+        """``(1 - e^(-kn/m))^k`` with the actual insertion count."""
+        if not self.inserted:
+            return 0.0
+        return (
+            1.0 - math.exp(-self.hashes * self.inserted / self.bits)
+        ) ** self.hashes
+
+    def __repr__(self):
+        return "BloomFilter(m=%d, k=%d, n=%d)" % (self.bits, self.hashes, self.inserted)

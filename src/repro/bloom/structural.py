@@ -1,0 +1,182 @@
+"""Ancestor and Descendant Structural Bloom Filters (Sections 5.1, 5.2).
+
+Both filters encode *traces* of one posting list so that another peer can
+discard postings of a different list that cannot join structurally.  Both
+are one-sided: a posting that does join always passes; a posting that does
+not may pass with small probability.
+
+**Ancestor filter** ``ABF(a)``: encodes the dyadic covers ``D(L_a)``.  A
+``b`` posting passes if every interval of its own cover ``D(e_b)`` has a
+dyadic container present in the filter (Theorem 1).  Intervals at level
+``j`` are inserted with ``ψ(j) = ceil(1 + j/c)`` replica *traces* and a
+look-up at level ``j`` is the conjunction of the ``ψ(j)`` trace look-ups —
+wide (high-level) intervals are the damaging ones, so they get more traces.
+
+**Descendant filter** ``DBF(b)``: the paper's Theorem 2 states
+``e_a ∈ a[//b]  iff  D(e_a) ∩ Dc(L_b) ≠ ∅``, but with ``Dc`` taken over the
+full interval ``[start_b, end_b]`` this direction admits false *negatives*
+(a descendant's smallest dyadic container can overrun an ancestor's cover
+pieces, e.g. e_b = [4,5] inside e_a = [2,7]).  We therefore realize the
+filter with the start-point formulation the paper itself introduces for
+the AB filter ("the condition start_a < start_b < end_a is sufficient"):
+``DBF(b)`` stores the container chains ``Dc[start_b, start_b]`` of the
+``b`` start points, and ``e_a`` passes iff some interval of the cover of
+its interior ``D[start_a + 1, end_a - 1]`` is present.  This is exact up
+to hash collisions and keeps the one-sidedness the system's recall
+guarantee needs; insertion counts stay Θ(l) per posting, matching the
+paper's space comparison between DB and AB filters.
+"""
+
+import math
+
+from repro.bloom.dyadic import (
+    dyadic_containers,
+    dyadic_cover,
+    interval_level,
+    level_for,
+    point_chain,
+)
+from repro.bloom.filter import BloomFilter
+from repro.postings.plist import PostingList
+
+
+def psi(level, c):
+    """The trace function ψ(j) = ceil(1 + j/c) of Section 5.1.
+
+    ``c=None`` selects the baseline the paper compares against: a single
+    trace per level."""
+    if c is None:
+        return 1
+    return math.ceil(1 + level / c)
+
+
+class AncestorBloomFilter:
+    """``ABF(a)``: lets another peer select postings with an ``a`` ancestor.
+
+    Sizing: by default the underlying Bloom filter is sized for the target
+    ``fp_rate``; passing ``bits`` instead fixes the wire size (the paper's
+    "filter of the same size" comparisons), with the hash count re-derived
+    from the actual load."""
+
+    def __init__(self, postings, l=None, fp_rate=0.20, psi_c=4, seed=0, bits=None):
+        self.psi_c = psi_c
+        self.l = l if l is not None else _level_of_postings(postings)
+        items = list(self._items_of(postings))
+        if bits is not None:
+            hashes = max(1, round(bits / max(1, len(items)) * math.log(2)))
+            self.filter = BloomFilter(bits, hashes, seed=seed)
+        else:
+            self.filter = BloomFilter.for_items(len(items), fp_rate, seed=seed)
+        self.dclev = 0  # highest level present in D(L_a)
+        for item, level in items:
+            self.filter.insert(item)
+            if level > self.dclev:
+                self.dclev = level
+        self.source_size = len(postings)
+
+    def _items_of(self, postings):
+        for p in postings:
+            for interval in dyadic_cover(p.start, p.end, self.l):
+                level = interval_level(interval)
+                for trace in range(psi(level, self.psi_c)):
+                    yield (p.peer, p.doc, interval[0], interval[1], trace), level
+
+    def _interval_present(self, peer, doc, interval):
+        level = interval_level(interval)
+        return all(
+            (peer, doc, interval[0], interval[1], trace) in self.filter
+            for trace in range(psi(level, self.psi_c))
+        )
+
+    def may_have_ancestor(self, posting, or_self=True):
+        """Theorem 1 probe: every cover interval of ``posting`` must have a
+        container present.
+
+        With ``or_self`` (the semantics word predicates need), the posting
+        itself counts as its own ancestor; strict mode additionally rejects
+        the exact self-cover... which a Bloom filter cannot distinguish, so
+        strictness is left to the final join (one-sided filtering)."""
+        del or_self  # documented: the filter is inherently or-self
+        if posting.end > (1 << self.l):
+            # no indexed ancestor interval can contain it
+            return False
+        for interval in dyadic_cover(posting.start, posting.end, self.l):
+            if not self._covered(posting.peer, posting.doc, interval):
+                return False
+        return True
+
+    def may_have_ancestor_point(self, posting):
+        """The simpler start-point probe (Section 5.1): is
+        ``[start_b, start_b]`` covered by an interval of ``D(L_a)``?"""
+        if posting.start > (1 << self.l):
+            return False
+        return self._covered(
+            posting.peer, posting.doc, (posting.start, posting.start)
+        )
+
+    def _covered(self, peer, doc, interval):
+        for container in dyadic_containers(interval[0], interval[1], self.l):
+            if interval_level(container) > self.dclev:
+                return False  # no wider interval was ever inserted
+            if self._interval_present(peer, doc, container):
+                return True
+        return False
+
+    def filter_postings(self, postings, point_probe=False):
+        """The sublist ``F(b, ABF(a))`` of postings that may join."""
+        probe = self.may_have_ancestor_point if point_probe else self.may_have_ancestor
+        return PostingList([p for p in postings if probe(p)], presorted=True)
+
+    @property
+    def size_bytes(self):
+        return self.filter.size_bytes
+
+
+class DescendantBloomFilter:
+    """``DBF(b)``: lets another peer select postings with a ``b`` descendant."""
+
+    def __init__(self, postings, l=None, fp_rate=0.01, seed=0):
+        self.l = l if l is not None else _level_of_postings(postings)
+        items = []
+        for p in postings:
+            start = min(p.start, 1 << self.l)
+            for interval in point_chain(start, self.l):
+                items.append((p.peer, p.doc, interval[0], interval[1]))
+        self.filter = BloomFilter.for_items(len(items), fp_rate, seed=seed)
+        for item in items:
+            self.filter.insert(item)
+        self.source_size = len(postings)
+
+    def may_have_descendant(self, posting, or_self=False):
+        """Does some ``b`` posting start inside ``posting``'s interval?
+
+        ``or_self`` widens the probed range to include the posting's own
+        start (descendant-or-self semantics for word predicates)."""
+        lo = posting.start if or_self else posting.start + 1
+        hi = min(posting.end - (0 if or_self else 1), 1 << self.l)
+        if lo > hi:
+            return False
+        for interval in dyadic_cover(lo, hi, self.l):
+            if (posting.peer, posting.doc, interval[0], interval[1]) in self.filter:
+                return True
+        return False
+
+    def filter_postings(self, postings, or_self=False):
+        """The sublist ``F(a, DBF(b))`` of postings that may join."""
+        return PostingList(
+            [p for p in postings if self.may_have_descendant(p, or_self=or_self)],
+            presorted=True,
+        )
+
+    @property
+    def size_bytes(self):
+        return self.filter.size_bytes
+
+
+def _level_of_postings(postings):
+    """Domain size: enough levels to cover the largest end tag seen."""
+    max_end = 1
+    for p in postings:
+        if p.end > max_end:
+            max_end = p.end
+    return level_for(max_end)

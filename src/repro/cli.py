@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro run table1 fig7          # run selected experiments
+    python -m repro run --all                # run everything
+    python -m repro demo                     # tiny end-to-end demo
+
+Each experiment prints the paper-style rows and verifies its qualitative
+shape (the same checks the benchmark suite asserts).
+"""
+
+import argparse
+import sys
+import time
+
+
+def _registry():
+    """Name -> (runner, formatter, checker, description).  Runners are
+    thunks at the default benchmark scales."""
+    from repro.experiments import (
+        dpp_order_ablation,
+        optimizer_eval,
+        fig2_indexing,
+        fig3_query,
+        fig7_reducers,
+        fig9_fundex,
+        filter_sensitivity,
+        pipeline_ablation,
+        posting_skew,
+        store_ablation,
+        table1_dyadic,
+        traffic,
+    )
+
+    return {
+        "fig2": (
+            lambda: fig2_indexing.run(scale=0.0005, peer_scale=0.1),
+            fig2_indexing.format_rows,
+            fig2_indexing.check_shape,
+            "Figure 2: indexing time vs. published volume",
+        ),
+        "fig3": (
+            lambda: fig3_query.run(scale=0.001, num_peers=30),
+            fig3_query.format_rows,
+            fig3_query.check_shape,
+            "Figure 3: query response time with/without DPP",
+        ),
+        "traffic": (
+            lambda: traffic.run(scale=0.0003, num_peers=20, num_queries=50),
+            traffic.format_rows,
+            traffic.check_shape,
+            "Section 4.3: traffic of the 50-query workload",
+        ),
+        "skew": (
+            lambda: posting_skew.run(sample_bytes=400_000),
+            posting_skew.format_rows,
+            posting_skew.check_shape,
+            "Section 4.3: posting-list skew",
+        ),
+        "table1": (
+            lambda: table1_dyadic.run(scale=0.02),
+            table1_dyadic.format_rows,
+            None,
+            "Table 1: average dyadic cover size",
+        ),
+        "sensitivity": (
+            lambda: filter_sensitivity.run(docs=20),
+            filter_sensitivity.format_rows,
+            filter_sensitivity.check_shape,
+            "Section 5.4: filter sensitivity analysis",
+        ),
+        "fig7": (
+            lambda: fig7_reducers.run(num_peers=16, docs=30, doc_bytes=15_000),
+            fig7_reducers.format_rows,
+            fig7_reducers.check_shape,
+            "Figure 7: Bloom reducer data volumes",
+        ),
+        "fig9": (
+            lambda: fig9_fundex.run(scale=0.005, num_peers=8, matches=4),
+            fig9_fundex.format_rows,
+            fig9_fundex.check_shape,
+            "Figure 9: Fundex query times",
+        ),
+        "store": (
+            lambda: store_ablation.run(list_sizes=(5_000, 20_000, 80_000)),
+            store_ablation.format_rows,
+            store_ablation.check_shape,
+            "Section 3 ablation: PAST store vs. B+-tree",
+        ),
+        "pipeline": (
+            lambda: pipeline_ablation.run(docs=30, num_peers=12),
+            pipeline_ablation.format_rows,
+            lambda r: pipeline_ablation.check_shape(r, min_ttfa_gain=2.0),
+            "Section 3 ablation: blocking vs. pipelined get",
+        ),
+        "dpporder": (
+            dpp_order_ablation.run,
+            dpp_order_ablation.format_rows,
+            dpp_order_ablation.check_shape,
+            "Section 4.1 ablation: ordered vs. random splits",
+        ),
+        "optimizer": (
+            optimizer_eval.run,
+            optimizer_eval.format_rows,
+            optimizer_eval.check_shape,
+            "Strategy optimizer vs. fixed strategies",
+        ),
+    }
+
+
+def cmd_list(_args):
+    registry = _registry()
+    width = max(len(name) for name in registry)
+    for name, (_, _, _, description) in registry.items():
+        print("%-*s  %s" % (width, name, description))
+    return 0
+
+
+def _chart_for(name, result):
+    from repro.experiments import charts
+
+    renderers = {
+        "fig2": charts.chart_fig2,
+        "fig3": charts.chart_fig3,
+        "fig9": charts.chart_fig9,
+        "traffic": charts.chart_traffic,
+    }
+    renderer = renderers.get(name)
+    return renderer(result) if renderer else None
+
+
+def cmd_run(args):
+    registry = _registry()
+    names = list(registry) if args.all else args.experiments
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print("unknown experiments: %s" % ", ".join(unknown), file=sys.stderr)
+        return 2
+    if not names:
+        print("nothing to run; use --all or name experiments", file=sys.stderr)
+        return 2
+    failed = []
+    for name in names:
+        runner, formatter, checker, description = registry[name]
+        print("== %s ==" % description)
+        started = time.time()
+        result = runner()
+        print(formatter(result))
+        if getattr(args, "chart", False):
+            chart = _chart_for(name, result)
+            if chart:
+                print(chart)
+        if checker is not None:
+            try:
+                checker(result)
+                print("shape: OK")
+            except AssertionError as exc:
+                failed.append(name)
+                print("shape: FAILED (%s)" % exc)
+        print("(%.1fs)\n" % (time.time() - started))
+    if failed:
+        print("failed shapes: %s" % ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_stats(_args):
+    """Publish a small corpus and print the index load statistics."""
+    from repro.kadop.config import KadopConfig
+    from repro.kadop.stats import network_stats
+    from repro.kadop.system import KadopNetwork
+    from repro.workloads.dblp import DblpGenerator
+
+    net = KadopNetwork.create(num_peers=12, config=KadopConfig(replication=1))
+    gen = DblpGenerator(seed=1, target_doc_bytes=8_000)
+    for i, doc in enumerate(gen.documents(10)):
+        net.peers[i % 6].publish(doc, uri="d:%d" % i)
+    print(network_stats(net).format())
+    return 0
+
+
+def cmd_demo(_args):
+    from repro.kadop.config import KadopConfig
+    from repro.kadop.system import KadopNetwork
+
+    net = KadopNetwork.create(num_peers=6, config=KadopConfig(replication=2))
+    net.peers[0].publish(
+        "<bib><article><title>XML in DHTs</title>"
+        "<author>Abiteboul</author></article></bib>",
+        uri="demo:1",
+    )
+    answers, report = net.query_with_report("//article//author")
+    print("published 1 document on a 6-peer ring")
+    print("query //article//author -> %d answer(s)" % len(answers))
+    print(
+        "simulated response %.1f ms, %d bytes on the wire"
+        % (report.response_time_s * 1e3, report.total_bytes)
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'XML processing in DHT networks' (ICDE 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=cmd_list
+    )
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiments", nargs="*", help="experiment names")
+    run_parser.add_argument("--all", action="store_true", help="run everything")
+    run_parser.add_argument(
+        "--chart", action="store_true", help="render figures as ASCII charts"
+    )
+    run_parser.set_defaults(func=cmd_run)
+    sub.add_parser("demo", help="tiny end-to-end demo").set_defaults(func=cmd_demo)
+    sub.add_parser(
+        "stats", help="index load-balance statistics on a demo corpus"
+    ).set_defaults(func=cmd_stats)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,462 @@
+"""The in-process DHT network: nodes, routing, and the (extended) API.
+
+The API follows Section 2 of the paper —
+
+    locate(k)      id of the peer in charge of key k
+    put(k, a)      enter a new posting for k          (read-reconcile-write)
+    get(k)         the postings for k                 (blocking)
+    delete(k, a)   delete a posting for k
+
+— plus the two extensions of Section 3:
+
+    append(k, as)        add postings without reading the existing list
+    pipelined_get(k)     stream the posting list in chunks
+
+Every operation returns its result together with an :class:`OpReceipt`
+recording the hops taken, the bytes moved (also logged to the global
+:class:`~repro.sim.meter.TrafficMeter`), and the simulated duration.
+Requests are routed multi-hop over the overlay; bulk responses flow over a
+direct connection (one hop), as in the real system.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.dht.nodeid import NodeId, key_id
+from repro.dht.routing import RoutingState
+from repro.errors import DhtError, NoSuchPeerError
+from repro.postings.encoder import encoded_size
+from repro.postings.plist import PostingList
+from repro.sim.cost import CostModel
+from repro.sim.meter import TrafficMeter
+from repro.storage.clustered import ClusteredIndexStore
+
+#: nominal size of a routed control message (key + op header), bytes
+CONTROL_BYTES = 64
+
+#: store-key prefixes that must live wherever their *term* lives: the DPP
+#: keeps a term's root block and first data block at the term owner, so
+#: ownership (and failure re-homing) must follow the term key, not the
+#: literal storage key
+_ALIAS_PREFIXES = ("dpproot:", "dppdata:")
+
+
+def routing_alias(key):
+    """The key whose hash decides placement of ``key``."""
+    for prefix in _ALIAS_PREFIXES:
+        if key.startswith(prefix):
+            return key[len(prefix):]
+    return key
+
+
+@dataclass
+class OpReceipt:
+    """Cost accounting for one DHT operation."""
+
+    hops: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    duration_s: float = 0.0
+
+    def merge(self, other):
+        self.hops += other.hops
+        self.request_bytes += other.request_bytes
+        self.response_bytes += other.response_bytes
+        self.duration_s += other.duration_s
+        return self
+
+
+class DhtNode:
+    """One peer's DHT presence: id, routing state, and local stores."""
+
+    def __init__(self, peer_index, uri, store, leaf_size=8, overlay="pastry"):
+        self.peer_index = peer_index
+        self.uri = uri
+        self.node_id = NodeId.from_uri(uri)
+        if overlay == "pastry":
+            self.routing = RoutingState(self.node_id, leaf_size=leaf_size)
+        elif overlay == "chord":
+            from repro.dht.chord import ChordState
+
+            self.routing = ChordState(self.node_id, successors=leaf_size)
+        else:
+            raise ValueError("unknown overlay %r" % (overlay,))
+        self.store = store
+        self.objects = {}  # key -> (object, nbytes): DPP roots, catalog rows
+        self.alive = True
+
+    def __repr__(self):
+        return "DhtNode(peer=%d, id=%s...)" % (self.peer_index, self.node_id.hex()[:8])
+
+
+class DhtNetwork:
+    """The full ring.  All peers of a KadoP deployment share one instance."""
+
+    def __init__(
+        self, cost=None, meter=None, replication=2, leaf_size=8, overlay="pastry"
+    ):
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        if overlay not in ("pastry", "chord"):
+            raise ValueError("overlay must be 'pastry' or 'chord'")
+        self.cost = cost or CostModel()
+        self.meter = meter or TrafficMeter()
+        self.replication = replication
+        self.leaf_size = leaf_size
+        self.overlay = overlay
+        self.nodes = []  # in join order; index == peer_index
+        self._by_id = {}
+        self._owner_cache = {}
+        self._replica_cache = {}
+
+    # -- membership ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, num_peers, store_factory=ClusteredIndexStore, **kwargs):
+        """Build a ring of ``num_peers`` nodes with fresh stores."""
+        net = cls(**kwargs)
+        for i in range(num_peers):
+            net.add_node("peer://%d" % i, store_factory(), rebuild=False)
+        net._rebuild_routing()
+        return net
+
+    def add_node(self, uri, store, rebuild=True):
+        """Add one node.  Pass ``rebuild=False`` during bulk construction
+        and call :meth:`_rebuild_routing` once at the end — rebuilding the
+        whole ring per join is O(N^2) and only the final state matters.
+
+        When a node joins an already-populated ring, keys for which it
+        becomes the owner (or a replica) are handed over from their
+        previous holders, exactly as Pastry's join protocol transfers the
+        key space; without this, index queries would miss data published
+        before the join."""
+        node = DhtNode(
+            len(self.nodes), uri, store, leaf_size=self.leaf_size,
+            overlay=self.overlay,
+        )
+        if int(node.node_id) in self._by_id:
+            raise DhtError("node id collision for uri %r" % uri)
+        existing_keys = self._all_keys() if rebuild and self.nodes else ()
+        self.nodes.append(node)
+        self._by_id[int(node.node_id)] = node
+        if rebuild:
+            self._rebuild_routing()
+            for key in existing_keys:
+                self._handover_key(key, node)
+        return node
+
+    def _handover_key(self, key, joined):
+        """Move/copy ``key`` to ``joined`` if it is now owner or replica."""
+        replicas = self.replica_nodes(key)
+        if joined not in replicas:
+            return
+        source = next(
+            (
+                n
+                for n in self.alive_nodes()
+                if n is not joined and (key in n.store or key in n.objects)
+            ),
+            None,
+        )
+        if source is None:
+            return
+        if key in source.store:
+            postings = source.store.get(key)
+            joined.store.append(key, postings)
+            self.meter.record("postings", encoded_size(postings))
+        if key in source.objects:
+            obj, nbytes = source.objects[key]
+            joined.objects[key] = (obj, nbytes)
+            self.meter.record("control", nbytes)
+
+    def remove_node(self, node, rehome=True):
+        """Fail/stop ``node``.  With ``rehome``, surviving replicas copy the
+        keys it owned to their new owners (the DHT replication of Section 2
+        'protects the index entries against some peer failure')."""
+        if not node.alive:
+            raise NoSuchPeerError("node already removed: %r" % (node,))
+        owned = [
+            key
+            for key in self._all_keys()
+            if self.owner_of(key) is node
+        ]
+        node.alive = False
+        del self._by_id[int(node.node_id)]
+        self._rebuild_routing()
+        if rehome:
+            for key in owned:
+                self._rehome_key(key, failed=node)
+
+    def alive_nodes(self):
+        return [n for n in self.nodes if n.alive]
+
+    def _rebuild_routing(self):
+        ids = [n.node_id for n in self.alive_nodes()]
+        for node in self.alive_nodes():
+            node.routing.rebuild(ids)
+        self._owner_cache = {}
+        self._replica_cache = {}
+
+    # -- ownership -----------------------------------------------------------------
+
+    def owner_of(self, key):
+        """The node in charge of ``key``: numerically closest id."""
+        cached = getattr(self, "_owner_cache", {}).get(key)
+        if cached is not None and cached.alive:
+            return cached
+        kid = key_id(routing_alias(key))
+        alive = self.alive_nodes()
+        if not alive:
+            raise DhtError("empty network")
+        if self.overlay == "chord":
+            # Chord ownership: the key's successor on the ring
+            from repro.dht.chord import chord_owner
+
+            ring = sorted(alive, key=lambda n: int(n.node_id))
+            owner_id = chord_owner(kid, [n.node_id for n in ring])
+            owner = next(n for n in ring if int(n.node_id) == int(owner_id))
+        else:
+            owner = min(
+                alive, key=lambda n: (n.node_id.distance(kid), int(n.node_id))
+            )
+        if not hasattr(self, "_owner_cache"):
+            self._owner_cache = {}
+        self._owner_cache[key] = owner
+        return owner
+
+    def replica_nodes(self, key):
+        """The ``replication`` closest nodes: owner first, then backups."""
+        cache = getattr(self, "_replica_cache", None)
+        if cache is None:
+            cache = self._replica_cache = {}
+        cached = cache.get(key)
+        if cached is not None and all(n.alive for n in cached):
+            return list(cached)
+        kid = key_id(routing_alias(key))
+        if self.overlay == "chord":
+            # Chord replicates on the owner's successors
+            ring = sorted(self.alive_nodes(), key=lambda n: int(n.node_id))
+            owner = self.owner_of(key)
+            start = ring.index(owner)
+            replicas = [
+                ring[(start + k) % len(ring)]
+                for k in range(min(self.replication, len(ring)))
+            ]
+        else:
+            ranked = sorted(
+                self.alive_nodes(),
+                key=lambda n: (n.node_id.distance(kid), int(n.node_id)),
+            )
+            replicas = ranked[: self.replication]
+        cache[key] = list(replicas)
+        return replicas
+
+    def _all_keys(self):
+        keys = set()
+        for node in self.alive_nodes():
+            keys.update(node.store.terms())
+            keys.update(node.objects)
+        return keys
+
+    def _rehome_key(self, key, failed):
+        replicas = [
+            n
+            for n in self.alive_nodes()
+            if n is not failed and (key in n.store or key in n.objects)
+        ]
+        if not replicas:
+            return  # data lost: replication factor exceeded
+        source = replicas[0]
+        new_owner = self.owner_of(key)
+        if new_owner is source:
+            return
+        if key in source.store:
+            postings = source.store.get(key)
+            new_owner.store.append(key, postings)
+            self.meter.record("postings", encoded_size(postings))
+        if key in source.objects:
+            obj, nbytes = source.objects[key]
+            new_owner.objects[key] = (obj, nbytes)
+            self.meter.record("control", nbytes)
+
+    # -- routing ------------------------------------------------------------------
+
+    def route(self, src, key):
+        """Walk the overlay from ``src`` toward ``key``.
+
+        Returns ``(owner_node, hops)``.  Uses only each node's own routing
+        state, so tests can verify greedy prefix routing really reaches the
+        globally closest node in O(log N) hops.
+        """
+        if not src.alive:
+            raise NoSuchPeerError("routing from a removed node")
+        kid = key_id(key)
+        current = src
+        hops = 0
+        seen = set()
+        while True:
+            nxt_id = current.routing.next_hop(kid)
+            if nxt_id is None:
+                return current, hops
+            nxt = self._by_id.get(int(nxt_id))
+            if nxt is None or not nxt.alive or int(nxt_id) in seen:
+                # stale entry: fall back to global owner (one extra hop),
+                # which is what Pastry's repair would converge to
+                return self.owner_of(key), hops + 1
+            seen.add(int(nxt_id))
+            current = nxt
+            hops += 1
+            if hops > len(self.nodes) + 4:
+                raise DhtError("routing loop for key %r" % (key,))
+
+    # -- the DHT API -----------------------------------------------------------------
+
+    def locate(self, src, key):
+        """``locate(k)``: the node in charge of ``k`` plus a receipt."""
+        owner, hops = self.route(src, key)
+        self.meter.record("control", CONTROL_BYTES * max(1, hops))
+        duration = self.cost.transfer_time(CONTROL_BYTES, hops=max(1, hops))
+        return owner, OpReceipt(
+            hops=hops, request_bytes=CONTROL_BYTES, duration_s=duration
+        )
+
+    def append(self, src, key, postings, replicate=True):
+        """The Section 3 extension: linear-cost posting insertion."""
+        postings = _as_plist(postings)
+        owner, hops = self.route(src, key)
+        payload = encoded_size(postings)
+        wire = payload * max(1, hops)  # multi-hop routed request
+        self.meter.record("postings", wire)
+        receipt = OpReceipt(hops=hops, request_bytes=wire)
+        receipt.duration_s += self.cost.transfer_time(payload, hops=max(1, hops))
+        before = owner.store.stats.snapshot()
+        owner.store.append(key, postings)
+        receipt.duration_s += owner.store.stats.delta_since(before).cost_seconds(
+            self.cost
+        )
+        if replicate:
+            receipt.merge(self._replicate(owner, key, postings))
+        return receipt
+
+    def put(self, src, key, postings, replicate=True):
+        """The *original* DHT insert: read old value, reconcile, rewrite.
+
+        Kept verbatim so the store ablation can measure the quadratic
+        behaviour the paper had to engineer away."""
+        postings = _as_plist(postings)
+        owner, hops = self.route(src, key)
+        payload = encoded_size(postings)
+        wire = payload * max(1, hops)
+        self.meter.record("postings", wire)
+        receipt = OpReceipt(hops=hops, request_bytes=wire)
+        receipt.duration_s += self.cost.transfer_time(payload, hops=max(1, hops))
+        before = owner.store.stats.snapshot()
+        owner.store.put(key, postings)
+        receipt.duration_s += owner.store.stats.delta_since(before).cost_seconds(
+            self.cost
+        )
+        if replicate:
+            receipt.merge(self._replicate(owner, key, postings))
+        return receipt
+
+    def _replicate(self, owner, key, postings):
+        receipt = OpReceipt()
+        payload = encoded_size(postings)
+        for node in self.replica_nodes(key):
+            if node is owner:
+                continue
+            node.store.append(key, postings)
+            self.meter.record("postings", payload)
+            receipt.request_bytes += payload
+            receipt.duration_s += self.cost.transfer_time(payload, hops=1)
+        return receipt
+
+    def get(self, src, key):
+        """Blocking ``get``: the full posting list, in one response."""
+        owner, locate_receipt = self.locate(src, key)
+        plist = owner.store.get(key)
+        payload = encoded_size(plist)
+        self.meter.record("postings", payload)
+        receipt = OpReceipt(
+            hops=locate_receipt.hops,
+            request_bytes=locate_receipt.request_bytes,
+            response_bytes=payload,
+            duration_s=locate_receipt.duration_s
+            + self.cost.disk_read_time(payload)
+            + self.cost.transfer_time(payload, hops=1),
+        )
+        return plist, receipt
+
+    def pipelined_get(self, src, key, chunk_postings=1024):
+        """Streamed ``get``: the list arrives in chunks.
+
+        Returns ``(chunks, receipt)`` where ``chunks`` is a list of
+        :class:`PostingList` pieces; the receipt's duration covers only the
+        locate and the *first* chunk (time-to-first-data) — the query
+        executor schedules the remaining chunks against link resources to
+        model the pipeline.
+        """
+        owner, locate_receipt = self.locate(src, key)
+        plist = owner.store.get(key)
+        chunks = list(plist.chunks(chunk_postings)) if len(plist) else []
+        total = 0
+        for chunk in chunks:
+            total += encoded_size(chunk)
+        self.meter.record("postings", total)
+        first = encoded_size(chunks[0]) if chunks else 0
+        receipt = OpReceipt(
+            hops=locate_receipt.hops,
+            request_bytes=locate_receipt.request_bytes,
+            response_bytes=total,
+            duration_s=locate_receipt.duration_s
+            + self.cost.disk_read_time(first)
+            + self.cost.transfer_time(first, hops=1),
+        )
+        return chunks, receipt
+
+    def delete(self, src, key, posting=None):
+        owner, receipt = self.locate(src, key)
+        removed = owner.store.delete(key, posting)
+        for node in self.replica_nodes(key):
+            if node is not owner:
+                node.store.delete(key, posting)
+        return removed, receipt
+
+    # -- small-object storage (DPP roots, catalog rows) --------------------------
+
+    def put_object(self, src, key, obj, nbytes):
+        """Store a small control object (replicated like postings)."""
+        owner, hops = self.route(src, key)
+        self.meter.record("control", nbytes * max(1, hops))
+        receipt = OpReceipt(
+            hops=hops,
+            request_bytes=nbytes * max(1, hops),
+            duration_s=self.cost.transfer_time(nbytes, hops=max(1, hops)),
+        )
+        for node in self.replica_nodes(key):
+            node.objects[key] = (obj, nbytes)
+            if node is not owner:
+                self.meter.record("control", nbytes)
+                receipt.duration_s += self.cost.transfer_time(nbytes, hops=1)
+        return receipt
+
+    def get_object(self, src, key):
+        owner, locate_receipt = self.locate(src, key)
+        entry = owner.objects.get(key)
+        if entry is None:
+            return None, locate_receipt
+        obj, nbytes = entry
+        self.meter.record("control", nbytes)
+        receipt = OpReceipt(
+            hops=locate_receipt.hops,
+            request_bytes=locate_receipt.request_bytes,
+            response_bytes=nbytes,
+            duration_s=locate_receipt.duration_s
+            + self.cost.transfer_time(nbytes, hops=1),
+        )
+        return obj, receipt
+
+
+def _as_plist(postings):
+    if isinstance(postings, PostingList):
+        return postings
+    return PostingList(postings)

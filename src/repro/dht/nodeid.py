@@ -1,0 +1,58 @@
+"""128-bit Pastry identifiers.
+
+Node ids are hashes of the peer's URI; keys are hashes of DHT keys (terms,
+DPP pseudo-keys, Fundex ``fun:w`` keys).  Both live on the same ring of
+size 2**128 and are compared with ring (wrap-around) distance; routing works
+on base-16 digits (Pastry's b = 4).
+"""
+
+from repro.util.hashing import stable_hash
+
+ID_BITS = 128
+ID_SPACE = 1 << ID_BITS
+DIGIT_BITS = 4  # Pastry b parameter
+DIGITS = ID_BITS // DIGIT_BITS  # 32 hex digits
+DIGIT_BASE = 1 << DIGIT_BITS
+
+
+class NodeId(int):
+    """An integer in [0, 2**128) with Pastry digit helpers."""
+
+    def __new__(cls, value):
+        return super().__new__(cls, int(value) % ID_SPACE)
+
+    @classmethod
+    def from_uri(cls, uri):
+        return cls(stable_hash(uri, seed=0x1D, bits=ID_BITS))
+
+    def digit(self, i):
+        """The ``i``-th base-16 digit, most significant first."""
+        shift = (DIGITS - 1 - i) * DIGIT_BITS
+        return (self >> shift) & (DIGIT_BASE - 1)
+
+    def shared_prefix_len(self, other):
+        """Number of leading base-16 digits shared with ``other``."""
+        other = NodeId(other)
+        length = 0
+        for i in range(DIGITS):
+            if self.digit(i) == other.digit(i):
+                length += 1
+            else:
+                break
+        return length
+
+    def distance(self, other):
+        """Ring distance to ``other`` (minimum of the two arc lengths)."""
+        diff = (int(self) - int(other)) % ID_SPACE
+        return min(diff, ID_SPACE - diff)
+
+    def hex(self):
+        return "%032x" % int(self)
+
+    def __repr__(self):
+        return "NodeId(%s...)" % self.hex()[:8]
+
+
+def key_id(key):
+    """Map a string DHT key onto the identifier ring."""
+    return NodeId(stable_hash(key, seed=0x2B, bits=ID_BITS))

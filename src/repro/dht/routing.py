@@ -1,0 +1,118 @@
+"""Pastry routing state: prefix routing table + leaf set.
+
+Each node keeps:
+
+* a routing table with one row per shared-prefix length and one column per
+  next digit — entry ``(row, col)`` is some node whose id shares ``row``
+  digits with ours and has ``col`` as digit ``row``;
+* a leaf set of the ``L/2`` numerically closest node ids on either side of
+  ours on the ring.
+
+``next_hop`` implements the standard Pastry decision: deliver locally if we
+are numerically closest within the leaf-set range, otherwise jump to the
+routing-table entry matching one more digit of the key, otherwise to any
+known node strictly closer to the key.  This yields the ceil(log16 N)
+average route lengths the cost model expects.
+"""
+
+from repro.dht.nodeid import DIGIT_BASE, DIGITS, NodeId
+
+
+class RoutingState:
+    """The routing table and leaf set of one node."""
+
+    def __init__(self, node_id, leaf_size=8):
+        self.node_id = NodeId(node_id)
+        self.leaf_size = leaf_size
+        self.table = [[None] * DIGIT_BASE for _ in range(DIGITS)]
+        self.leaves = []  # sorted NodeIds, excluding self
+
+    # -- maintenance ---------------------------------------------------------
+
+    def rebuild(self, all_ids):
+        """Recompute the full state from current ring membership.
+
+        In a real deployment this state is maintained incrementally by the
+        join protocol; rebuilding from the membership list produces exactly
+        the same structure and keeps the simulation honest about *routing*
+        (hop counts) without simulating gossip.
+        """
+        others = [NodeId(i) for i in all_ids if int(i) != int(self.node_id)]
+        self._rebuild_leaves(others)
+        self._rebuild_table(others)
+
+    def _rebuild_leaves(self, others):
+        ring = sorted(others)
+        if not ring:
+            self.leaves = []
+            return
+        half = self.leaf_size // 2
+        import bisect
+
+        pos = bisect.bisect_left(ring, self.node_id)
+        leaves = []
+        n = len(ring)
+        for offset in range(1, half + 1):
+            leaves.append(ring[(pos + offset - 1) % n])  # clockwise
+            leaves.append(ring[(pos - offset) % n])  # counter-clockwise
+        self.leaves = sorted(set(leaves))
+
+    def _rebuild_table(self, others):
+        self.table = [[None] * DIGIT_BASE for _ in range(DIGITS)]
+        for other in others:
+            row = self.node_id.shared_prefix_len(other)
+            if row >= DIGITS:
+                continue
+            col = other.digit(row)
+            current = self.table[row][col]
+            # keep the entry numerically closest to us (deterministic)
+            if current is None or self.node_id.distance(other) < self.node_id.distance(
+                current
+            ):
+                self.table[row][col] = other
+
+    # -- routing ---------------------------------------------------------------
+
+    def is_owner(self, key):
+        """True iff this node is numerically closest to ``key`` among the
+        nodes it knows (with full leaf sets this equals global ownership)."""
+        my_dist = self.node_id.distance(key)
+        return all(leaf.distance(key) >= my_dist for leaf in self.leaves)
+
+    def next_hop(self, key):
+        """The next node id on the route to ``key``, or None to deliver."""
+        key = NodeId(key)
+        my_dist = self.node_id.distance(key)
+
+        # 1. within leaf-set coverage: go straight to the numerically closest
+        best_leaf = min(self.leaves, key=lambda l: (l.distance(key), int(l)), default=None)
+        if best_leaf is not None and best_leaf.distance(key) < my_dist:
+            candidates = [best_leaf]
+        else:
+            candidates = []
+        if self.is_owner(key):
+            return None
+
+        # 2. prefix routing: match one more digit
+        row = self.node_id.shared_prefix_len(key)
+        if row < DIGITS:
+            entry = self.table[row][key.digit(row)]
+            if entry is not None:
+                return entry
+
+        # 3. rare case: any known node strictly closer with >= prefix
+        known = self.leaves + [e for r in self.table for e in r if e is not None]
+        closer = [n for n in known if n.distance(key) < my_dist]
+        if closer:
+            return min(closer, key=lambda n: (n.distance(key), int(n)))
+        if candidates:
+            return candidates[0]
+        return None  # we are the best node we know: deliver here
+
+    def known_ids(self):
+        ids = set(self.leaves)
+        for row in self.table:
+            for entry in row:
+                if entry is not None:
+                    ids.add(entry)
+        return ids

@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver returns plain dicts/lists of rows so the benchmark harness can
+both print the paper-style series and assert the qualitative shape (who
+wins, by roughly what factor, where crossovers fall).  Absolute magnitudes
+come from the calibrated cost model; EXPERIMENTS.md records paper-vs-
+measured values for each experiment.
+
+| Driver                       | Paper result                    |
+|------------------------------|---------------------------------|
+| ``fig2_indexing``            | Figure 2 (indexing time)        |
+| ``fig3_query``               | Figure 3 (query response time)  |
+| ``traffic``                  | Section 4.3 traffic experiment  |
+| ``posting_skew``             | Section 4.3 posting-list skew   |
+| ``table1_dyadic``            | Table 1 (dyadic cover size)     |
+| ``filter_sensitivity``       | Section 5.4 sensitivity study   |
+| ``fig7_reducers``            | Figure 7(a)-(c)                 |
+| ``fig9_fundex``              | Figure 9 (Fundex query times)   |
+| ``store_ablation``           | Section 3 store replacement     |
+| ``pipeline_ablation``        | Section 3 pipelined get         |
+| ``dpp_order_ablation``       | Section 4.1 ordered vs random   |
+| ``optimizer_eval``           | §5.4/§8 strategy optimizer      |
+"""
+
+__all__ = [
+    "fig2_indexing",
+    "fig3_query",
+    "fig7_reducers",
+    "fig9_fundex",
+    "filter_sensitivity",
+    "optimizer_eval",
+    "pipeline_ablation",
+    "posting_skew",
+    "store_ablation",
+    "table1_dyadic",
+    "traffic",
+]

@@ -1,0 +1,107 @@
+"""Terminal line charts for the figure experiments.
+
+The paper's figures are line plots; the CLI can render the measured series
+as ASCII charts (``python -m repro run fig3 --chart``) so the shape —
+growth, crossovers, gaps between series — is visible without a plotting
+stack.
+"""
+
+#: marker characters assigned to series, in order
+MARKERS = "ox+*#@%&"
+
+
+def line_chart(series, width=64, height=16, x_label="", y_label=""):
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart string.
+
+    Points are scaled into a ``width``x``height`` grid; each series gets a
+    marker from :data:`MARKERS` and a legend line.  Collisions show the
+    later series' marker (acceptable for shape inspection).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x, y, marker):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for i, (label, pts) in enumerate(series.items()):
+        marker = MARKERS[i % len(MARKERS)]
+        legend.append("  %s %s" % (marker, label))
+        ordered = sorted(pts)
+        # connect consecutive points with interpolated markers
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+            steps = max(2, width // max(1, len(ordered) - 1))
+            for step in range(steps + 1):
+                frac = step / steps
+                plot(x1 + (x2 - x1) * frac, y1 + (y2 - y1) * frac, marker)
+        for x, y in ordered:
+            plot(x, y, marker)
+
+    lines = []
+    top = "%.3g" % y_hi
+    bottom = "%.3g" % y_lo
+    gutter = max(len(top), len(bottom)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(gutter)
+        elif i == height - 1:
+            prefix = bottom.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append("%s |%s" % (prefix, "".join(row)))
+    lines.append("%s +%s" % (" " * gutter, "-" * width))
+    x_axis = "%s%s%s" % (
+        ("%.3g" % x_lo).ljust(width // 2),
+        "",
+        ("%.3g" % x_hi).rjust(width // 2),
+    )
+    lines.append("%s  %s" % (" " * gutter, x_axis))
+    if x_label or y_label:
+        lines.append(
+            "%s  x: %s%s" % (" " * gutter, x_label, ("   y: %s" % y_label) if y_label else "")
+        )
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def chart_fig2(results):
+    """Figure 2 chart: published MB vs simulated minutes, five series."""
+    series = {
+        label: [(nbytes / 1e6, minutes) for nbytes, minutes in pts]
+        for label, pts in results.items()
+    }
+    return line_chart(series, x_label="published MB", y_label="minutes")
+
+
+def chart_fig3(results):
+    """Figure 3 chart: indexed MB vs index-query seconds, two series."""
+    series = {
+        label: [(nbytes / 1e6, seconds) for nbytes, seconds, _ in pts]
+        for label, pts in results.items()
+    }
+    return line_chart(series, x_label="indexed MB", y_label="seconds")
+
+
+def chart_fig9(results):
+    """Figure 9 chart: documents vs seconds, three techniques."""
+    series = {label: list(pts) for label, pts in results.items()}
+    return line_chart(series, x_label="documents", y_label="seconds")
+
+
+def chart_traffic(points):
+    """Section 4.3 chart: indexed MB vs traffic MB."""
+    series = {"traffic": [(b / 1e6, t / 1e6) for b, t in points]}
+    return line_chart(series, x_label="indexed MB", y_label="traffic MB")

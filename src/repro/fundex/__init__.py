@@ -1,0 +1,26 @@
+"""The Fundex: indexing and querying intensional data (Section 6).
+
+XML *includes* (external entities) and references make parts of a document
+intensional: the data is stored elsewhere.  The Fundex keeps queries
+complete without inlining everything:
+
+* the target string ``w`` of an include is a *function call*; the peer in
+  charge of the key ``fun:w`` materializes the result once, indexes it
+  under a *functional id* in place of a document id, and forgets the data;
+* a ``Rev`` relation in the DHT maps each functional id back to every
+  element that references it;
+* query evaluation produces *potential answers* (matches incomplete at
+  intensional elements), evaluates the missing sub-patterns over the
+  functional documents, and completes the potential answers through a
+  θ-join with the ``Rev`` occurrences.
+
+The module also implements the paper's alternatives: the ``naive`` and
+``brutal`` baselines, publish-time *in-lining*, and
+*representative-data-indexing* (evaluate only functional documents whose
+label skeleton can match).
+"""
+
+from repro.fundex.index import FundexIndex, FundexReport
+from repro.fundex.representative import skeleton_labels, skeleton_matches
+
+__all__ = ["FundexIndex", "FundexReport", "skeleton_labels", "skeleton_matches"]

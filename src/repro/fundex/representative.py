@@ -1,0 +1,67 @@
+"""Representative-data-indexing support (Section 6).
+
+In the spirit of representative objects [Nestorov et al., ICDE 1997], a
+functional document is summarized by its *label skeleton*: the set of
+root-to-node label paths it contains.  The skeleton is the "representative
+instance" the index is made aware of: a sub-pattern can only match inside a
+functional document if its label structure embeds into the skeleton —
+value conditions underneath are ignored (hence precision may be lost but
+completeness is kept).
+"""
+
+from repro.query.pattern import Axis
+
+
+def skeleton_labels(document):
+    """The set of label paths of ``document``, e.g. ``{('a',), ('a','b')}``."""
+    paths = set()
+
+    def visit(element, prefix):
+        path = prefix + (element.label,)
+        paths.add(path)
+        for child in element.child_elements():
+            visit(child, path)
+
+    visit(document.root, ())
+    return paths
+
+
+def skeleton_matches(pattern_node, skeleton):
+    """Can the label structure of the sub-pattern embed into ``skeleton``?
+
+    Word nodes and value conditions are ignored (the representative
+    instance carries no values); label nodes must appear on some path with
+    the right axis relationship.  This is a conservative (complete) test.
+    """
+    candidate_paths = _paths_with_label(pattern_node, skeleton, anywhere=True)
+    return bool(candidate_paths)
+
+
+def _paths_with_label(node, skeleton, anywhere, under=None):
+    """Skeleton paths at which ``node`` can be placed."""
+    if node.is_word:
+        # values are not represented: a word node matches anywhere
+        return {under} if under is not None else set(skeleton)
+    matches = set()
+    for path in skeleton:
+        if not path or (not node.is_wildcard and path[-1] != node.label):
+            continue
+        if under is not None:
+            if node.axis is Axis.CHILD:
+                if len(path) != len(under) + 1 or path[: len(under)] != under:
+                    continue
+            else:
+                if len(path) <= len(under) or path[: len(under)] != under:
+                    continue
+        elif not anywhere:
+            continue
+        matches.add(path)
+    # every child sub-pattern must embed below at least one surviving path
+    surviving = set()
+    for path in matches:
+        if all(
+            _paths_with_label(child, skeleton, False, under=path)
+            for child in node.children
+        ):
+            surviving.add(path)
+    return surviving

@@ -1,0 +1,22 @@
+"""Distributed indexing: catalog relations, publishing, and the DPP.
+
+* :mod:`repro.index.catalog` — the ``Peer``/``Doc`` relations of Section 2;
+* :mod:`repro.index.publisher` — one-pass posting extraction and batched
+  routing of postings to their index peers (Section 3);
+* :mod:`repro.index.dpp` — the Distributed Posting Partitioning structure
+  of Section 4: range-partitioned posting blocks spread over peers, with a
+  root condition block at the term's owner.
+"""
+
+from repro.index.catalog import Catalog
+from repro.index.dpp import Condition, DppIndex, DppRoot
+from repro.index.publisher import Publisher, extract_postings
+
+__all__ = [
+    "Catalog",
+    "Condition",
+    "DppIndex",
+    "DppRoot",
+    "Publisher",
+    "extract_postings",
+]

@@ -1,0 +1,38 @@
+"""The ``Peer`` and ``Doc`` relations (Section 2).
+
+``Peer(p, uri)`` and ``Doc(p, d, uri)`` let any peer map internal integer
+identifiers back to URIs.  Both relations are supported by the DHT: the row
+for a peer (document) is a small object stored under the key ``peer:p``
+(``doc:p:d``).
+"""
+
+
+def peer_key(peer_index):
+    return "peer:%d" % peer_index
+
+
+def doc_key(peer_index, doc_index):
+    return "doc:%d:%d" % (peer_index, doc_index)
+
+
+class Catalog:
+    """DHT-backed id → uri mapping for peers and documents."""
+
+    def __init__(self, net):
+        self._net = net
+
+    def register_peer(self, src_node, peer_index, uri):
+        key = peer_key(peer_index)
+        return self._net.put_object(src_node, key, uri, nbytes=len(key) + len(uri))
+
+    def register_doc(self, src_node, peer_index, doc_index, uri):
+        key = doc_key(peer_index, doc_index)
+        return self._net.put_object(src_node, key, uri, nbytes=len(key) + len(uri))
+
+    def peer_uri(self, src_node, peer_index):
+        uri, _ = self._net.get_object(src_node, peer_key(peer_index))
+        return uri
+
+    def doc_uri(self, src_node, peer_index, doc_index):
+        uri, _ = self._net.get_object(src_node, doc_key(peer_index, doc_index))
+        return uri

@@ -1,0 +1,453 @@
+"""Distributed Posting Partitioning (Section 4.1).
+
+A long posting list ``L_a`` is split horizontally, by range conditions over
+the ``(p, d, sid)`` order, into blocks scattered across peers.  The peer in
+charge of term ``a`` keeps only the *root block*: the ordered sequence of
+conditions ``C_1 < ... < C_n`` and, for each, a pseudo-key
+``overflow:<i>:<a>`` that the DHT resolves to the peer holding that block
+(the first block stays local, as in the paper's Figure 1).
+
+As in the paper's implementation, the structure has two levels (root block
++ data blocks) and the root's condition list is unbounded; a data block
+that exceeds ``max_block_entries`` splits in two, the upper half moving to
+the peer in charge of a fresh pseudo-key, and the root replaces ``C`` with
+``C1, C2``.
+
+The root is a search structure: query processing reads the (small) root,
+filters blocks against the ``[min, max]`` document interval of the other
+query terms, and fetches only useful blocks — in parallel (Section 4.2).
+"""
+
+from dataclasses import dataclass
+
+from repro.dht.network import OpReceipt
+from repro.postings.encoder import encoded_size
+from repro.postings.plist import PostingList
+from repro.postings.posting import Posting
+
+#: bytes to encode one condition entry in a root block (two postings + key)
+CONDITION_BYTES = 56
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An inclusive interval ``[lo, hi]`` of postings."""
+
+    lo: Posting
+    hi: Posting
+
+    def __contains__(self, posting):
+        return self.lo <= posting <= self.hi
+
+    def intersects_docs(self, lo_doc, hi_doc):
+        """Does the block's document span intersect ``[lo_doc, hi_doc]``?"""
+        return not (
+            (self.hi.peer, self.hi.doc) < lo_doc
+            or (self.lo.peer, self.lo.doc) > hi_doc
+        )
+
+    @property
+    def lo_doc(self):
+        return (self.lo.peer, self.lo.doc)
+
+    @property
+    def hi_doc(self):
+        return (self.hi.peer, self.hi.doc)
+
+    def __lt__(self, other):
+        return self.hi < other.lo
+
+
+class BlockRef:
+    """One root-block entry: a condition plus where the block lives.
+
+    ``types`` is the set of document types whose postings the block holds
+    (Section 4.1: "type information is also stored in the conditions of
+    the DPP blocks"), enabling type-based block filtering at query time.
+    """
+
+    __slots__ = (
+        "condition",
+        "pseudo_key",
+        "seq",
+        "types",
+        "access_count",
+        "replica_keys",
+    )
+
+    def __init__(self, condition, pseudo_key, seq, types=None):
+        self.condition = condition
+        self.pseudo_key = pseudo_key  # None: block is local to the term owner
+        self.seq = seq
+        self.types = set(types or ())
+        self.access_count = 0  # popularity, drives block replication (§4.2)
+        self.replica_keys = []  # pseudo-keys of popularity replicas
+
+    @property
+    def is_local(self):
+        return self.pseudo_key is None
+
+    def __repr__(self):
+        where = "local" if self.is_local else self.pseudo_key
+        return "BlockRef(seq=%d, %s)" % (self.seq, where)
+
+
+class DppRoot:
+    """Root block of one term's DPP."""
+
+    __slots__ = ("term_key", "entries", "next_seq")
+
+    def __init__(self, term_key):
+        self.term_key = term_key
+        self.entries = []  # ordered BlockRefs (conditions increasing)
+        self.next_seq = 0
+
+    def new_seq(self):
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def encoded_bytes(self):
+        type_bytes = sum(
+            8 * len(entry.types) for entry in self.entries
+        )
+        return 16 + CONDITION_BYTES * len(self.entries) + type_bytes
+
+    def target_entry(self, posting):
+        """The entry whose block should receive ``posting``.
+
+        Conditions partition the order: a posting goes to the first block
+        whose upper bound is >= it, or to the last block."""
+        for entry in self.entries:
+            if entry.condition is None or posting <= entry.condition.hi:
+                return entry
+        return self.entries[-1]
+
+    def check_invariants(self):
+        conditions = [e.condition for e in self.entries if e.condition is not None]
+        for left, right in zip(conditions, conditions[1:]):
+            assert left.hi < right.lo, (
+                "root conditions overlap: %r vs %r" % (left, right)
+            )
+
+
+def _local_block_key(term_key):
+    """Store key under which the term owner keeps its local DPP block."""
+    return "dppdata:" + term_key
+
+
+def overflow_key(seq, term_key):
+    """The paper's ``overflow:i:a`` pseudo-key."""
+    return "overflow:%d:%s" % (seq, term_key)
+
+
+class DppIndex:
+    """Manages DPP roots and blocks on top of the DHT network."""
+
+    ROOT_KEY_PREFIX = "dpproot:"
+
+    def __init__(
+        self,
+        net,
+        max_block_entries=1000,
+        ordered_splits=True,
+        replicate_after=None,
+        replica_copies=1,
+    ):
+        """``ordered_splits=False`` reproduces the alternative the paper
+        tested and rejected (Section 4.1): a block's data is scattered
+        between the two halves instead of split by range, so conditions
+        overlap and can no longer guide the search — transfers stay
+        parallel but the ``[min, max]`` filtering loses its teeth.
+
+        ``replicate_after`` enables the Section 4.2 discussion: a block
+        fetched more than that many times is replicated (``replica_copies``
+        extra peers, pseudo-keys of its own), and subsequent fetches
+        round-robin across the copies — the DHT's fixed-factor replication
+        cannot provide this per-block control, which is exactly the
+        paper's complaint about it."""
+        if max_block_entries < 2:
+            raise ValueError("max_block_entries must be >= 2")
+        if replicate_after is not None and replicate_after < 1:
+            raise ValueError("replicate_after must be >= 1 or None")
+        self.net = net
+        self.max_block_entries = max_block_entries
+        self.ordered_splits = ordered_splits
+        self.replicate_after = replicate_after
+        self.replica_copies = replica_copies
+
+    # -- root access -----------------------------------------------------------
+
+    def _root_at(self, owner, term_key, create=False):
+        key = self.ROOT_KEY_PREFIX + term_key
+        entry = owner.objects.get(key)
+        if entry is not None:
+            return entry[0]
+        if not create:
+            return None
+        root = DppRoot(term_key)
+        # a fresh root has one empty local block; its condition is set to
+        # the actual data bounds by the first append
+        root.entries.append(BlockRef(None, None, root.new_seq()))
+        owner.objects[key] = (root, root.encoded_bytes())
+        return root
+
+    def _store_root(self, owner, root):
+        key = self.ROOT_KEY_PREFIX + root.term_key
+        entry = (root, root.encoded_bytes())
+        owner.objects[key] = entry
+        # reliability replication: the (shared, in-process) root object is
+        # also held by the term's DHT replicas so a term-owner failure
+        # re-homes it (Section 4.2's reliance on DHT index replication)
+        if self.net.replication > 1:
+            for backup in self.net.replica_nodes(root.term_key):
+                if backup is not owner:
+                    backup.objects[key] = entry
+
+    def root(self, src, term_key):
+        """Fetch a term's root block over the network (query-time path)."""
+        owner, receipt = self.net.locate(src, term_key)
+        root = self._root_at(owner, term_key)
+        if root is not None:
+            nbytes = root.encoded_bytes()
+            self.net.meter.record("control", nbytes)
+            receipt.response_bytes += nbytes
+            receipt.duration_s += self.net.cost.transfer_time(nbytes, hops=1)
+        return root, receipt
+
+    # -- insertion -----------------------------------------------------------------
+
+    def append(self, src, term_key, postings, doc_type=None):
+        """Insert ``postings`` for ``term_key`` through the DPP.
+
+        Postings are routed to the term owner (as without DPP); the owner
+        dispatches each to its target block — locally or by forwarding to
+        the holder of the block's pseudo-key — splitting blocks that
+        overflow.  ``doc_type`` (Section 4.1) tags the touched blocks with
+        the publishing document's type."""
+        postings = (
+            postings if isinstance(postings, PostingList) else PostingList(postings)
+        )
+        if not len(postings):
+            return OpReceipt()
+        owner, hops = self.net.route(src, term_key)
+        payload = encoded_size(postings)
+        self.net.meter.record("postings", payload * max(1, hops))
+        receipt = OpReceipt(
+            hops=hops,
+            request_bytes=payload * max(1, hops),
+            duration_s=self.net.cost.transfer_time(payload, hops=max(1, hops)),
+        )
+        root = self._root_at(owner, term_key, create=True)
+
+        # group the batch by target block: by range condition (ordered
+        # mode) or by hash (the random-scattering alternative of §4.1)
+        groups = {}
+        for posting in postings:
+            if self.ordered_splits:
+                entry = root.target_entry(posting)
+            else:
+                from repro.util.hashing import stable_hash
+
+                pick = stable_hash(repr(tuple(posting)), seed=7) % len(root.entries)
+                entry = root.entries[pick]
+            groups.setdefault(entry.seq, (entry, []))[1].append(posting)
+
+        for entry, group in groups.values():
+            if doc_type is not None:
+                entry.types.add(doc_type)
+            receipt.merge(self._append_to_block(owner, root, entry, group))
+        self._store_root(owner, root)
+        return receipt
+
+    def _block_location(self, owner, entry, term_key):
+        """(holder_node, store_key) of a block."""
+        if entry.is_local:
+            return owner, _local_block_key(term_key)
+        holder = self.net.owner_of(entry.pseudo_key)
+        return holder, entry.pseudo_key
+
+    def _append_to_block(self, owner, root, entry, group):
+        receipt = OpReceipt()
+        holder, store_key = self._block_location(owner, entry, root.term_key)
+        if holder is not owner:
+            payload = encoded_size(group)
+            self.net.meter.record("postings", payload)
+            receipt.request_bytes += payload
+            receipt.duration_s += self.net.cost.transfer_time(payload, hops=1)
+        before = holder.store.stats.snapshot()
+        holder.store.append(store_key, group)
+        receipt.duration_s += holder.store.stats.delta_since(before).cost_seconds(
+            self.net.cost
+        )
+        # DPP blocks enjoy the DHT's reliability replication like any other
+        # key (Section 4.2: "the DHT does replicate its index for
+        # reliability"); the popularity replicas are a separate mechanism
+        if self.net.replication > 1:
+            payload = encoded_size(group)
+            for backup in self.net.replica_nodes(store_key):
+                if backup is holder:
+                    continue
+                backup.store.append(store_key, group)
+                self.net.meter.record("postings", payload)
+                receipt.duration_s += self.net.cost.transfer_time(payload, hops=1)
+        # refresh the condition to cover the new postings
+        group_lo, group_hi = min(group), max(group)
+        if entry.condition is None:
+            entry.condition = Condition(group_lo, group_hi)
+        else:
+            entry.condition = Condition(
+                min(entry.condition.lo, group_lo),
+                max(entry.condition.hi, group_hi),
+            )
+
+        if holder.store.count(store_key) > self.max_block_entries:
+            receipt.merge(self._split_block(owner, root, entry))
+        return receipt
+
+    def _split_block(self, owner, root, entry):
+        """Split an overfull block; the upper half moves to a new peer."""
+        receipt = OpReceipt()
+        holder, store_key = self._block_location(owner, entry, root.term_key)
+        block = holder.store.get(store_key)
+        if self.ordered_splits:
+            mid = len(block) // 2
+            lower, upper = block.split_at(mid)
+        else:
+            items = block.items()
+            lower = PostingList(items[0::2], presorted=True)
+            upper = PostingList(items[1::2], presorted=True)
+
+        # rewrite the lower half in place
+        holder.store.delete(store_key)
+        before = holder.store.stats.snapshot()
+        holder.store.append(store_key, lower)
+        receipt.duration_s += holder.store.stats.delta_since(before).cost_seconds(
+            self.net.cost
+        )
+
+        # ship the upper half to the peer in charge of a fresh pseudo-key
+        new_seq = root.new_seq()
+        new_key = overflow_key(new_seq, root.term_key)
+        new_holder, hops = self.net.route(owner, new_key)
+        payload = encoded_size(upper)
+        self.net.meter.record("postings", payload * max(1, hops))
+        receipt.request_bytes += payload * max(1, hops)
+        receipt.duration_s += self.net.cost.transfer_time(payload, hops=max(1, hops))
+        before = new_holder.store.stats.snapshot()
+        new_holder.store.append(new_key, upper)
+        receipt.duration_s += new_holder.store.stats.delta_since(
+            before
+        ).cost_seconds(self.net.cost)
+
+        # the root replaces C with C1, C2
+        idx = root.entries.index(entry)
+        entry.condition = Condition(lower.first, lower.last)
+        # both halves may hold any of the original types (conservative)
+        new_entry = BlockRef(
+            Condition(upper.first, upper.last), new_key, new_seq, entry.types
+        )
+        root.entries.insert(idx + 1, new_entry)
+        return receipt
+
+    # -- query-time access ------------------------------------------------------------
+
+    def delete(self, src, term_key, postings):
+        """Remove postings from the DPP (document modification path).
+
+        Each posting is routed through the root to its target block; empty
+        conditions are left in place (the paper's system also tolerates
+        underfull blocks — rebalancing is future work there too).
+        """
+        owner, hops = self.net.route(src, term_key)
+        receipt = OpReceipt(hops=hops)
+        root = self._root_at(owner, term_key)
+        if root is None:
+            return 0, receipt
+        removed = 0
+        for posting in sorted(postings):
+            entry = root.target_entry(posting)
+            holder, store_key = self._block_location(owner, entry, term_key)
+            before = holder.store.stats.snapshot()
+            if holder.store.delete(store_key, posting):
+                removed += 1
+            receipt.duration_s += holder.store.stats.delta_since(
+                before
+            ).cost_seconds(self.net.cost)
+        self.net.meter.record("control", CONDITION_BYTES * max(1, removed))
+        return removed, receipt
+
+    def replica_block_key(self, entry, term_key, copy):
+        return "blockrep:%d:%d:%s" % (copy, entry.seq, term_key)
+
+    def _maybe_replicate(self, owner, entry, term_key):
+        """Popularity-driven block replication (Section 4.2)."""
+        if (
+            self.replicate_after is None
+            or entry.replica_keys
+            or entry.access_count < self.replicate_after
+        ):
+            return
+        _, store_key = self._block_location(owner, entry, term_key)
+        primary_holder, _ = self._block_location(owner, entry, term_key)
+        postings = primary_holder.store.get(store_key)
+        for copy in range(self.replica_copies):
+            rep_key = self.replica_block_key(entry, term_key, copy)
+            rep_holder = self.net.owner_of(rep_key)
+            rep_holder.store.append(rep_key, postings)
+            self.net.meter.record("postings", encoded_size(postings))
+            entry.replica_keys.append(rep_key)
+
+    def _pick_block_holder(self, owner, entry, term_key):
+        """Round-robin between the primary block and its replicas."""
+        choices = [None] + list(entry.replica_keys)
+        pick = choices[entry.access_count % len(choices)]
+        if pick is None:
+            return self._block_location(owner, entry, term_key)
+        return self.net.owner_of(pick), pick
+
+    def fetch_block(self, src, term_key, entry, doc_lo=None, doc_hi=None):
+        """Fetch one block (or its ``[min,max]`` document intersection).
+
+        Returns ``(postings, holder_node, receipt)``; the transfer duration
+        reflects only this block — the executor schedules blocks in
+        parallel.  Access counts drive popularity replication, and fetches
+        rotate over the block's copies."""
+        owner = self.net.owner_of(term_key)
+        entry.access_count += 1
+        self._maybe_replicate(owner, entry, term_key)
+        holder, store_key = self._pick_block_holder(owner, entry, term_key)
+        if doc_lo is not None and doc_hi is not None:
+            lo = Posting(doc_lo[0], doc_lo[1], 0, 1, 0)
+            hi = Posting(doc_hi[0], doc_hi[1], 2**62, 2**62, 2**62)
+            getter = getattr(holder.store, "get_range", None)
+            if getter is not None:
+                postings = getter(store_key, lo, hi)
+            else:
+                postings = holder.store.get(store_key).range(lo, hi)
+        else:
+            postings = holder.store.get(store_key)
+        payload = encoded_size(postings)
+        self.net.meter.record("postings", payload)
+        receipt = OpReceipt(
+            response_bytes=payload,
+            duration_s=self.net.cost.disk_read_time(payload)
+            + self.net.cost.transfer_time(payload, hops=1),
+        )
+        return postings, holder, receipt
+
+    def full_list(self, src, term_key):
+        """Reassemble a term's full posting list from its blocks (testing)."""
+        root, _ = self.root(src, term_key)
+        if root is None:
+            return PostingList()
+        merged = PostingList()
+        for entry in root.entries:
+            postings, _, _ = self.fetch_block(src, term_key, entry)
+            merged = merged.merge(postings)
+        return merged
+
+    def block_count(self, term_key):
+        owner = self.net.owner_of(term_key)
+        root = self._root_at(owner, term_key)
+        return len(root.entries) if root is not None else 0

@@ -1,0 +1,15 @@
+"""The KadoP system: peers, publishing, and distributed query processing.
+
+:class:`~repro.kadop.system.KadopNetwork` wires together the DHT, the
+local stores, the publisher, the DPP, the Bloom reducers and the Fundex
+according to a :class:`~repro.kadop.config.KadopConfig`, and exposes the
+two user-facing operations of the paper: *publish* an XML document and
+*query* the collection with a tree pattern.
+"""
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.peer import KadopPeer
+from repro.kadop.system import KadopNetwork
+from repro.kadop.execution import Answer, QueryReport
+
+__all__ = ["KadopConfig", "KadopPeer", "KadopNetwork", "Answer", "QueryReport"]

@@ -1,0 +1,120 @@
+"""System configuration: every technique of the paper is a toggle here.
+
+The defaults correspond to the *improved* KadoP of Section 3 (B+-tree
+store, ``append``, pipelined ``get``) without the optional techniques; the
+experiment drivers flip individual switches to reproduce each comparison.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sim.cost import CostParams
+
+
+@dataclass
+class KadopConfig:
+    """Tunable knobs of a KadoP deployment.
+
+    Section 3 (base system):
+
+    ``store``            ``"btree"`` (BerkeleyDB replacement) or ``"naive"``
+                         (PAST-style read-modify-write store)
+    ``use_append``       use the extended ``append`` API instead of ``put``
+    ``pipelined_get``    stream posting lists instead of blocking ``get``
+    ``chunk_postings``   pipeline chunk size, in postings
+
+    Section 8 (index-size reductions; both trade query quality for space):
+
+    ``index_granularity``  ``"element"`` (default) or ``"document"`` —
+                           coarse indexing records only (p, d) per term,
+                           making index queries imprecise but complete
+    ``word_index_labels``  if set, words are indexed only under elements
+                           with these labels (selective word indexing;
+                           queries for words elsewhere lose completeness)
+
+    Section 4 (DPP):
+
+    ``use_dpp``              partition long posting lists across peers
+    ``dpp_block_entries``    data-block capacity before a split
+    ``parallelism``          K, the maximum degree of parallel block fetches
+    ``dpp_ordered_splits``   False scatters split blocks randomly instead of
+                             by range (the ablation the paper mentions)
+    ``dpp_replicate_after``  popularity threshold (block fetch count) that
+                             triggers per-block replication; None disables
+    ``dpp_replica_copies``   extra copies per popular block
+
+    Section 5 (Structural Bloom Filters):
+
+    ``filter_strategy``      ``None``/``"ab"``/``"db"``/``"bloom"``/``"subquery"``,
+                             ``"auto"`` (cost-based optimizer), or
+                             ``"pushdown"`` (ship small lists to the longest
+                             list's peer and join there — Section 4.2)
+    ``ab_fp_rate``           target basic false-positive rate of AB filters
+    ``db_fp_rate``           target basic false-positive rate of DB filters
+    ``psi_c``                the c of ψ(j) = ceil(1 + j/c)
+
+    Section 4.2 optimizations:
+
+    ``striped_replica_fetch``  stripe long posting-list transfers across the
+                               DHT's replicas ("transferring fragments from
+                               different copies")
+
+    DHT:
+
+    ``replication``      copies per key (fixed factor, set at network start)
+    ``leaf_size``        Pastry leaf-set size / Chord successor-list length
+    ``overlay``          ``"pastry"`` (the paper's PAST substrate) or
+                         ``"chord"`` — the techniques only assume the
+                         generic DHT interface of Section 2
+    ``cost``             the calibrated :class:`CostParams`
+    """
+
+    store: str = "btree"
+    use_append: bool = True
+    pipelined_get: bool = True
+    chunk_postings: int = 2048
+    index_granularity: str = "element"
+    word_index_labels: frozenset = None
+
+    use_dpp: bool = False
+    dpp_block_entries: int = 1000
+    parallelism: int = 8
+    dpp_ordered_splits: bool = True
+    dpp_replicate_after: int = None
+    dpp_replica_copies: int = 1
+
+    filter_strategy: str = None
+    ab_fp_rate: float = 0.20
+    db_fp_rate: float = 0.01
+    psi_c: int = 4
+
+    striped_replica_fetch: bool = False
+
+    replication: int = 2
+    leaf_size: int = 8
+    overlay: str = "pastry"
+    cost: CostParams = field(default_factory=CostParams)
+
+    def __post_init__(self):
+        if self.overlay not in ("pastry", "chord"):
+            raise ConfigError("overlay must be 'pastry' or 'chord'")
+        if self.index_granularity not in ("element", "document"):
+            raise ConfigError(
+                "index_granularity must be 'element' or 'document'"
+            )
+        if self.store not in ("btree", "naive"):
+            raise ConfigError("store must be 'btree' or 'naive', got %r" % self.store)
+        if self.filter_strategy not in (
+            None, "ab", "db", "bloom", "subquery", "auto", "pushdown"
+        ):
+            raise ConfigError("unknown filter strategy %r" % self.filter_strategy)
+        if self.parallelism < 1:
+            raise ConfigError("parallelism must be >= 1")
+        if self.chunk_postings < 1:
+            raise ConfigError("chunk_postings must be >= 1")
+        if not 0 < self.ab_fp_rate < 1 or not 0 < self.db_fp_rate < 1:
+            raise ConfigError("filter fp rates must be in (0, 1)")
+        if self.store == "naive" and self.use_append:
+            # the naive store has no real append; calling it is allowed but
+            # degenerates to put — make the intent explicit in experiments
+            pass

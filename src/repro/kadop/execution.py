@@ -1,0 +1,511 @@
+"""Distributed query execution.
+
+KadoP processes a query in two phases (Section 2):
+
+1. the **index query**: posting lists (or DPP blocks, or Bloom-reduced
+   lists) of the query's terms are brought to the query peer and combined
+   by the holistic twig join, yielding the candidate documents;
+2. the **document phase**: the query is sent to the peers holding those
+   documents, which evaluate it on the actual trees and ship back answers.
+
+This module really executes both phases (answers are exact) and, in
+parallel, accounts the simulated response time with the task scheduler:
+posting-list transfers compete for producer egress links and the query
+peer's ingress capacity, which is how pipelining (Section 3) and the DPP's
+degree-K parallel block fetches (Section 4.2) earn their speedups.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.postings.encoder import encoded_size
+from repro.postings.plist import PostingList
+from repro.postings.term_relation import label_key, word_key
+from repro.query.index_plan import build_index_plan
+from repro.query.twigjoin import twig_join
+from repro.sim.tasks import Scheduler
+
+#: small fixed cost for emitting one joined answer tuple
+ANSWER_TUPLE_BYTES = 40
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One query answer: ``(p, d, e1 ... en)`` as in the paper."""
+
+    peer: int
+    doc: int
+    bindings: tuple  # sorted tuple of (pattern node_id, Posting)
+
+    @property
+    def doc_id(self):
+        return (self.peer, self.doc)
+
+    def binding_of(self, node_id):
+        for nid, posting in self.bindings:
+            if nid == node_id:
+                return posting
+        raise KeyError(node_id)
+
+
+@dataclass
+class QueryReport:
+    """Cost accounting for one query execution."""
+
+    response_time_s: float = 0.0
+    time_to_first_s: float = 0.0
+    index_time_s: float = 0.0
+    doc_time_s: float = 0.0
+    traffic: dict = field(default_factory=dict)
+    postings_fetched: int = 0
+    blocks_fetched: int = 0
+    blocks_skipped: int = 0
+    candidate_docs: int = 0
+    precise: bool = True
+    chosen_strategy: str = None  # set when the optimizer ("auto") ran
+    complete: bool = True  # False if a document peer timed out (Section 3)
+    timed_out_peers: int = 0
+    block_vectors: int = 0  # meaningful block vectors joined (Section 4.2)
+
+    @property
+    def total_bytes(self):
+        return sum(self.traffic.values())
+
+
+def term_key_of(node):
+    """The DHT key of a pattern node's term."""
+    kind, value = node.term
+    return label_key(value) if kind == "label" else word_key(value)
+
+
+class QueryExecutor:
+    """Runs tree-pattern queries against a KadoP network."""
+
+    def __init__(self, system):
+        self.system = system
+
+    # -- entry point -------------------------------------------------------------
+
+    def run(self, pattern, src_peer, strategy=None):
+        """Execute ``pattern`` from ``src_peer``.
+
+        Returns ``(answers, report)``.  ``strategy`` overrides the
+        configured Bloom filter strategy for this query."""
+        system = self.system
+        config = system.config
+        meter = system.net.meter
+        snapshot = meter.snapshot()
+        report = QueryReport()
+
+        plan = build_index_plan(pattern)
+        report.precise = plan.precise
+
+        strategy = strategy if strategy is not None else config.filter_strategy
+        candidate_docs = set()
+        first = True
+        for component, node_map in zip(plan.components, plan.node_maps):
+            component_strategy = strategy
+            if strategy == "auto":
+                choice = system.optimizer.choose(component, src_peer)
+                component_strategy = choice.executor_strategy
+                report.chosen_strategy = choice.strategy
+                report.index_time_s = max(report.index_time_s, choice.stats_time_s)
+            if component_strategy == "pushdown" and len(component) > 1:
+                docs, push_time = self._pushdown_join(component, src_peer, report)
+                report.index_time_s = max(report.index_time_s, push_time)
+                report.time_to_first_s = max(report.time_to_first_s, push_time)
+                if first:
+                    candidate_docs = docs
+                    first = False
+                else:
+                    candidate_docs &= docs
+                if not candidate_docs:
+                    break
+                continue
+            if component_strategy == "pushdown":
+                component_strategy = None  # single term: nothing to push
+            streams, fetch_time, ttfa = self._fetch_streams(
+                component, src_peer, component_strategy
+            )
+            report.postings_fetched += sum(len(s) for s in streams.values())
+            join_inputs = sum(len(s) for s in streams.values())
+            join_cpu = system.net.cost.join_time(join_inputs)
+            if config.pipelined_get or config.use_dpp:
+                component_time = max(fetch_time, join_cpu)
+                component_ttfa = ttfa + system.net.cost.join_time(
+                    min(config.chunk_postings, max(join_inputs, 1))
+                )
+            else:
+                component_time = fetch_time + join_cpu
+                component_ttfa = component_time
+            report.index_time_s = max(report.index_time_s, component_time)
+            report.time_to_first_s = max(report.time_to_first_s, component_ttfa)
+
+            dpp_blocks = getattr(self, "_last_dpp_blocks", None)
+            self._last_dpp_blocks = None
+            if config.index_granularity == "document":
+                # coarse index (Section 8): only (p, d) is recorded, so the
+                # index query degenerates to a document-id intersection —
+                # complete but imprecise
+                report.precise = False
+                docs = None
+                for stream in streams.values():
+                    stream_docs = set(stream.doc_ids())
+                    docs = stream_docs if docs is None else docs & stream_docs
+                docs = docs or set()
+            elif dpp_blocks is not None:
+                # the block-based parallel twig join of Section 4.2: join
+                # meaningful block vectors instead of merged lists
+                from repro.query.block_join import parallel_block_join
+
+                result = parallel_block_join(component, dpp_blocks)
+                report.block_vectors += result.vectors_considered
+                bindings = result.solutions
+                docs = {
+                    (
+                        sol[component.root.node_id].peer,
+                        sol[component.root.node_id].doc,
+                    )
+                    for sol in bindings
+                }
+            else:
+                bindings = twig_join(component, streams)
+                docs = {
+                    (
+                        sol[component.root.node_id].peer,
+                        sol[component.root.node_id].doc,
+                    )
+                    for sol in bindings
+                }
+            if first:
+                candidate_docs = docs
+                first = False
+            else:
+                candidate_docs &= docs
+            if not candidate_docs:
+                break
+
+        report.candidate_docs = len(candidate_docs)
+        answers, doc_time, timed_out = self._document_phase(
+            pattern, src_peer, candidate_docs
+        )
+        report.timed_out_peers = timed_out
+        report.complete = timed_out == 0
+        report.doc_time_s = doc_time
+        report.response_time_s = report.index_time_s + doc_time
+        report.time_to_first_s += doc_time
+        report.traffic = meter.delta_since(snapshot)
+        self._merge_dpp_counters(report)
+        return answers, report
+
+    def _merge_dpp_counters(self, report):
+        counters = getattr(self, "_last_dpp_counters", None)
+        if counters:
+            report.blocks_fetched, report.blocks_skipped = counters
+        self._last_dpp_counters = None
+
+    # -- index phase -------------------------------------------------------------
+
+    def _fetch_streams(self, component, src_peer, strategy):
+        """Bring every node's posting list to the query peer.
+
+        Returns ``(streams, fetch_time_s, time_to_first_data_s)``."""
+        if strategy:
+            return self.system.reducers.fetch_reduced(
+                component, src_peer, strategy
+            )
+        if self.system.config.use_dpp:
+            return self._fetch_dpp(component, src_peer)
+        return self._fetch_plain(component, src_peer)
+
+    def _ingress_slots(self):
+        cost = self.system.net.cost.params
+        return max(1, int(cost.ingress_bw / cost.egress_bw))
+
+    def _fetch_plain(self, component, src_peer):
+        """One stream per term, each from the term owner (Section 3)."""
+        system = self.system
+        net = system.net
+        config = system.config
+        streams = {}
+        term_lists = {}
+        locate_time = 0.0
+        for node in component.nodes():
+            key = term_key_of(node)
+            if key not in term_lists:
+                if config.pipelined_get:
+                    chunks, receipt = net.pipelined_get(
+                        src_peer.node, key, config.chunk_postings
+                    )
+                    merged = PostingList()
+                    for chunk in chunks:
+                        merged = merged.merge(chunk)
+                    term_lists[key] = (merged, receipt)
+                else:
+                    plist, receipt = net.get(src_peer.node, key)
+                    term_lists[key] = (plist, receipt)
+                locate_time = max(locate_time, receipt.duration_s)
+            streams[node.node_id] = term_lists[key][0]
+
+        scheduler = Scheduler()
+        ingress = scheduler.add_resource("ingress", self._ingress_slots())
+        ttfa = 0.0
+        for key, (plist, receipt) in term_lists.items():
+            nbytes = encoded_size(plist)
+            if config.striped_replica_fetch and net.replication > 1:
+                # Section 4.2: "the transfer of a posting list can be
+                # optimized by replicating it and transferring fragments
+                # from different copies" — one fragment per replica, each
+                # on its own egress link
+                replicas = net.replica_nodes(key)
+                fragment = net.cost.transfer_time(
+                    nbytes / len(replicas), hops=1
+                )
+                for i, holder in enumerate(replicas):
+                    egress = "egress:%d" % holder.peer_index
+                    if not scheduler.has_resource(egress):
+                        scheduler.add_resource(egress, 1)
+                    scheduler.add_task(
+                        "xfer:%s:%d" % (key, i),
+                        fragment,
+                        resources=(egress, ingress),
+                    )
+            else:
+                owner = net.owner_of(key)
+                egress = "egress:%d" % owner.peer_index
+                if not scheduler.has_resource(egress):
+                    scheduler.add_resource(egress, 1)
+                scheduler.add_task(
+                    "xfer:%s" % key,
+                    net.cost.transfer_time(nbytes, hops=1),
+                    resources=(egress, ingress),
+                )
+            # the receipt's duration already covers locate + first chunk
+            ttfa = max(ttfa, receipt.duration_s)
+        makespan = scheduler.run()
+        return streams, locate_time + makespan, ttfa
+
+    def _fetch_dpp(self, component, src_peer):
+        """Degree-K parallel DPP block fetches with [min,max] filtering."""
+        system = self.system
+        net = system.net
+        dpp = system.dpp
+        config = system.config
+
+        nodes = component.nodes()
+        roots = {}
+        root_time = 0.0
+        for node in nodes:
+            key = term_key_of(node)
+            if key in roots:
+                continue
+            root, receipt = dpp.root(src_peer.node, key)
+            roots[key] = root
+            root_time = max(root_time, receipt.duration_s)
+
+        # the [min, max] document window of Section 4.2
+        lo_docs, hi_docs = [], []
+        for root in roots.values():
+            entries = [e for e in (root.entries if root else []) if e.condition]
+            if not entries:
+                return (
+                    {node.node_id: PostingList() for node in nodes},
+                    root_time,
+                    root_time,
+                )
+            lo_docs.append(entries[0].condition.lo_doc)
+            hi_docs.append(entries[-1].condition.hi_doc)
+        doc_lo = max(lo_docs)
+        doc_hi = min(hi_docs)
+
+        # type filtering (Section 4.1): a document type can only yield
+        # answers if *every* query term has postings of that type, so the
+        # viable types are the intersection of the per-term type sets
+        viable_types = None
+        for root in roots.values():
+            term_types = set()
+            for entry in root.entries:
+                term_types |= entry.types
+            if viable_types is None:
+                viable_types = set(term_types)
+            else:
+                viable_types &= term_types
+        viable_types = viable_types or set()
+
+        scheduler = Scheduler()
+        ingress = scheduler.add_resource("ingress", config.parallelism)
+        fetched, skipped = 0, 0
+        term_lists = {}
+        term_blocks = {}
+        ttfa = root_time
+        for key, root in roots.items():
+            merged = PostingList()
+            blocks = []
+            first_block_time = None
+            for entry in root.entries:
+                if entry.condition is None:
+                    continue
+                if doc_hi < doc_lo or not entry.condition.intersects_docs(
+                    doc_lo, doc_hi
+                ):
+                    skipped += 1
+                    continue
+                if entry.types and viable_types and not (
+                    entry.types & viable_types
+                ):
+                    skipped += 1
+                    continue
+                postings, holder, receipt = dpp.fetch_block(
+                    src_peer.node, key, entry, doc_lo, doc_hi
+                )
+                fetched += 1
+                merged = merged.merge(postings)
+                if len(postings):
+                    from repro.query.block_join import Block
+
+                    blocks.append(Block(postings))
+                egress = "egress:%d" % holder.peer_index
+                if not scheduler.has_resource(egress):
+                    scheduler.add_resource(egress, 1)
+                scheduler.add_task(
+                    "blk:%s:%d" % (key, entry.seq),
+                    receipt.duration_s,
+                    resources=(egress, ingress),
+                )
+                if first_block_time is None:
+                    first_block_time = receipt.duration_s
+            term_lists[key] = merged
+            term_blocks[key] = blocks
+            if first_block_time is not None:
+                ttfa = max(ttfa, root_time + first_block_time)
+        makespan = scheduler.run()
+        self._last_dpp_counters = (fetched, skipped)
+        streams = {
+            node.node_id: term_lists[term_key_of(node)] for node in nodes
+        }
+        if dpp.ordered_splits and all(term_blocks.values()):
+            self._last_dpp_blocks = {
+                node.node_id: term_blocks[term_key_of(node)] for node in nodes
+            }
+        return streams, root_time + makespan, ttfa
+
+    # -- join pushdown (Section 4.2) ----------------------------------------------
+
+    def _pushdown_join(self, component, src_peer, report):
+        """Ship the *small* lists to the peer holding the longest one and
+        join there; only the join results travel back.
+
+        "Some structural joins could be pushed to the peer holding the
+        longest posting list involved in the query, thus reducing data
+        transfers" (Section 4.2).  Returns ``(candidate_docs, time_s)``.
+        """
+        net = self.system.net
+        nodes = component.nodes()
+        term_lists = {}
+        owners = {}
+        locate_time = 0.0
+        for node in nodes:
+            key = term_key_of(node)
+            if key not in term_lists:
+                owner, receipt = net.locate(src_peer.node, key)
+                owners[key] = owner
+                term_lists[key] = owner.store.get(key)
+                locate_time = max(locate_time, receipt.duration_s)
+
+        host_key = max(term_lists, key=lambda k: len(term_lists[k]))
+        host = owners[host_key]
+
+        # the other lists travel to the host (parallel, host-ingress bound)
+        scheduler = Scheduler()
+        ingress = scheduler.add_resource("ingress", self._ingress_slots())
+        for key, plist in term_lists.items():
+            if key == host_key:
+                continue  # already local to the host
+            nbytes = encoded_size(plist)
+            net.meter.record("postings", nbytes)
+            report.postings_fetched += len(plist)
+            egress = "egress:%d" % owners[key].peer_index
+            if not scheduler.has_resource(egress):
+                scheduler.add_resource(egress, 1)
+            scheduler.add_task(
+                "push:%s" % key,
+                net.cost.transfer_time(nbytes, hops=1),
+                resources=(egress, ingress),
+            )
+        transfer_time = scheduler.run()
+
+        # the host runs the twig join locally over its own (disk) list
+        streams = {
+            node.node_id: term_lists[term_key_of(node)] for node in nodes
+        }
+        report.postings_fetched += len(term_lists[host_key])
+        bindings = twig_join(component, streams)
+        join_time = net.cost.join_time(sum(len(s) for s in streams.values()))
+
+        # only the join results return to the query peer
+        result_postings = sorted(
+            {posting for sol in bindings for posting in sol.values()}
+        )
+        result_bytes = encoded_size(result_postings) + ANSWER_TUPLE_BYTES
+        net.meter.record("postings", result_bytes)
+        ship_time = net.cost.transfer_time(result_bytes, hops=1)
+
+        docs = {
+            (sol[component.root.node_id].peer, sol[component.root.node_id].doc)
+            for sol in bindings
+        }
+        return docs, locate_time + transfer_time + join_time + ship_time
+
+    # -- document phase -------------------------------------------------------------
+
+    def _document_phase(self, pattern, src_peer, candidate_docs):
+        """Ship the query to document peers, collect exact answers.
+
+        A candidate peer that left the network is detected by timeout
+        (Section 3): its documents' answers are missing and the result is
+        flagged incomplete.  Returns ``(answers, doc_time_s, timed_out)``.
+        """
+        system = self.system
+        net = system.net
+        timeout_s = 4 * net.cost.params.hop_latency_s
+        by_peer = {}
+        for peer_idx, doc_idx in sorted(candidate_docs):
+            # functional documents (Section 6) are index-only, never answers
+            if doc_idx in system.peers[peer_idx].functional_docs:
+                continue
+            by_peer.setdefault(peer_idx, []).append(doc_idx)
+
+        answers = []
+        peer_times = []
+        timed_out = 0
+        for peer_idx, doc_indexes in by_peer.items():
+            peer = system.peers[peer_idx]
+            if not peer.node.alive:
+                timed_out += 1
+                peer_times.append(timeout_s)
+                continue
+            sent_bytes = 0
+            matched = 0
+            for doc_idx in doc_indexes:
+                for postings, _incomplete in peer.evaluate(pattern, doc_idx):
+                    answers.append(
+                        Answer(
+                            peer_idx,
+                            doc_idx,
+                            tuple(sorted(postings.items())),
+                        )
+                    )
+                    matched += 1
+                    sent_bytes += ANSWER_TUPLE_BYTES + encoded_size(
+                        sorted(postings.values())
+                    )
+            # query shipping + answer return, one round trip per doc peer
+            hops = net.cost.expected_hops(len(net.alive_nodes()))
+            net.meter.record("control", 64 * hops)
+            net.meter.record("documents", sent_bytes)
+            peer_times.append(
+                net.cost.transfer_time(64, hops=hops)
+                + net.cost.transfer_time(sent_bytes, hops=1)
+            )
+        doc_time = max(peer_times) if peer_times else 0.0
+        answers.sort(key=lambda a: (a.peer, a.doc, a.bindings))
+        return answers, doc_time, timed_out

@@ -1,0 +1,116 @@
+"""One KadoP peer: document storage plus its DHT presence.
+
+XML documents are stored at their publishing peer; only the ``Term``
+relation is spread over the DHT.  A peer therefore owns (a) its parsed
+documents, and (b) whatever slice of the distributed index the DHT assigns
+to its node.
+"""
+
+from repro.query.matcher import match_document, match_to_postings
+from repro.xmldata.parser import parse_document
+
+
+class KadopPeer:
+    """A peer of the KadoP network."""
+
+    def __init__(self, system, index, node):
+        self.system = system
+        self.index = index  # the integer p of the Peer relation
+        self.node = node  # DhtNode
+        self.documents = {}  # doc_index -> Document
+        self.functional_docs = set()  # doc indexes holding function results
+        self._next_doc = 0
+
+    @property
+    def uri(self):
+        return self.node.uri
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, xml_text, uri=None, resolver=None, inline=False, doc_type=None):
+        """Parse and index an XML document; returns a PublishReceipt.
+
+        ``resolver``/``inline`` control entity includes, see
+        :func:`repro.xmldata.parser.parse_document`; ``doc_type`` overrides
+        the inferred document type (Section 4.1)."""
+        resolver = resolver or self.system.resolver
+        document = parse_document(
+            xml_text, uri=uri, resolver=resolver, inline=inline, doc_type=doc_type
+        )
+        return self.publish_document(document)
+
+    def publish_document(self, document):
+        """Index an already parsed document owned by this peer."""
+        doc_index = self._next_doc
+        self._next_doc += 1
+        self.documents[doc_index] = document
+        receipt = self.system.publisher.publish(
+            self.node, document, self.index, doc_index
+        )
+        self.system.catalog.register_doc(
+            self.node, self.index, doc_index, document.uri or ""
+        )
+        if document.is_intensional:
+            self.system.fundex_register(self, doc_index, document)
+        return receipt
+
+    def unpublish(self, doc_index):
+        """Withdraw a document: delete its postings from the index.
+
+        Section 2: "a document modification is interpreted as deletion
+        followed by insertion".  Returns the number of postings removed.
+        """
+        from repro.index.publisher import extract_postings
+
+        document = self.documents.pop(doc_index, None)
+        if document is None:
+            raise KeyError("peer %d has no document %d" % (self.index, doc_index))
+        publisher = self.system.publisher
+        extracted = extract_postings(
+            document,
+            self.index,
+            doc_index,
+            granularity=publisher.granularity,
+            word_labels=publisher.word_labels,
+        )
+        removed = 0
+        net = self.system.net
+        dpp = self.system.dpp
+        for term_key in sorted(extracted):
+            postings = extracted[term_key]
+            if dpp is not None:
+                count, _ = dpp.delete(self.node, term_key, postings)
+                removed += count
+            else:
+                for posting in postings:
+                    ok, _ = net.delete(self.node, term_key, posting)
+                    removed += bool(ok)
+        return removed
+
+    def republish(self, doc_index, xml_text, uri=None, resolver=None, inline=False):
+        """Modify a document: delete + insert, as in the paper.
+
+        The new content receives a fresh document index (structural ids
+        are not incrementally updatable)."""
+        self.unpublish(doc_index)
+        return self.publish(xml_text, uri=uri, resolver=resolver, inline=inline)
+
+    # -- the document phase of query processing --------------------------------
+
+    def evaluate(self, pattern, doc_index, allow_incomplete=False):
+        """Evaluate ``pattern`` on one owned document.
+
+        Returns a list of ``(bindings, incomplete_ids)`` pairs with
+        bindings as ``node_id → Posting`` (this is what is shipped back to
+        the query peer)."""
+        document = self.documents[doc_index]
+        results = []
+        for match in match_document(
+            pattern, document, allow_incomplete=allow_incomplete
+        ):
+            postings = match_to_postings(match, self.index, doc_index)
+            results.append((postings, match.incomplete))
+        return results
+
+    def __repr__(self):
+        return "KadopPeer(%d, %d docs)" % (self.index, len(self.documents))

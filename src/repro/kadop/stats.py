@@ -1,0 +1,94 @@
+"""Network introspection: index sizes, load balance, hot terms.
+
+Section 8 lists load balancing among the optimizer's future targets; the
+prerequisite is visibility into how the DHT spread the index.  This module
+computes per-peer and per-term statistics over a live network — the same
+numbers an operator (or the future load balancer) would need.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PeerLoad:
+    """One peer's share of the distributed index."""
+
+    peer_index: int
+    postings: int = 0
+    terms: int = 0
+    documents: int = 0
+    objects: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate index statistics for a KadoP network."""
+
+    peers: list = field(default_factory=list)  # PeerLoad, by peer index
+    total_postings: int = 0
+    total_terms: int = 0
+    hottest_terms: list = field(default_factory=list)  # (count, term)
+
+    @property
+    def gini(self):
+        """Gini coefficient of per-peer posting counts (0 = perfectly even).
+
+        The standard load-imbalance summary: the DHT hashes terms, so the
+        load is uneven exactly to the extent posting lists are skewed —
+        which DBLP's are, heavily (Section 4.3)."""
+        loads = sorted(p.postings for p in self.peers)
+        n = len(loads)
+        total = sum(loads)
+        if n == 0 or total == 0:
+            return 0.0
+        cum = 0.0
+        for i, load in enumerate(loads, start=1):
+            cum += i * load
+        return (2 * cum) / (n * total) - (n + 1) / n
+
+    @property
+    def max_over_mean(self):
+        """Peak-to-average posting load (1.0 = perfectly even)."""
+        loads = [p.postings for p in self.peers]
+        if not loads or not sum(loads):
+            return 1.0
+        return max(loads) / (sum(loads) / len(loads))
+
+    def format(self):
+        lines = [
+            "peers: %d   postings: %d   distinct terms: %d"
+            % (len(self.peers), self.total_postings, self.total_terms),
+            "load balance: gini=%.3f  max/mean=%.2f"
+            % (self.gini, self.max_over_mean),
+            "hottest terms:",
+        ]
+        for count, term in self.hottest_terms:
+            lines.append("  %8d  %s" % (count, term))
+        return "\n".join(lines)
+
+
+def network_stats(system, top_terms=8):
+    """Collect :class:`NetworkStats` for a live network."""
+    stats = NetworkStats()
+    term_counts = {}
+    for peer in system.peers:
+        if not peer.node.alive:
+            continue
+        load = PeerLoad(peer_index=peer.index)
+        store = peer.node.store
+        for term in store.terms():
+            count = store.count(term)
+            load.postings += count
+            load.terms += 1
+            # aggregate only primary copies: owner-held keys
+            if system.net.owner_of(term) is peer.node:
+                term_counts[term] = term_counts.get(term, 0) + count
+        load.documents = len(peer.documents)
+        load.objects = len(peer.node.objects)
+        stats.peers.append(load)
+        stats.total_postings += load.postings
+    stats.total_terms = len(term_counts)
+    stats.hottest_terms = sorted(
+        ((count, term) for term, count in term_counts.items()), reverse=True
+    )[:top_terms]
+    return stats

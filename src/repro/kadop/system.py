@@ -1,0 +1,236 @@
+"""The KadoP network facade.
+
+Wires the substrates together according to a
+:class:`~repro.kadop.config.KadopConfig` and exposes publish/query.
+
+>>> from repro.kadop.system import KadopNetwork
+>>> net = KadopNetwork.create(num_peers=4)
+>>> _ = net.peers[0].publish("<a><b>x y</b></a>", uri="u:1")
+>>> [a.doc_id for a in net.query("//a//b")]
+[(0, 0)]
+"""
+
+from repro.bloom.reducers import BloomReducers
+from repro.dht.network import DhtNetwork
+from repro.fundex.index import FundexIndex
+from repro.index.catalog import Catalog
+from repro.index.dpp import DppIndex
+from repro.index.publisher import Publisher
+from repro.kadop.config import KadopConfig
+from repro.kadop.execution import QueryExecutor
+from repro.kadop.peer import KadopPeer
+from repro.query.xpath import parse_query
+from repro.sim.cost import CostModel
+from repro.storage.clustered import ClusteredIndexStore
+from repro.storage.naive_store import NaiveGzipStore
+
+
+class KadopNetwork:
+    """A deployment of KadoP peers over one DHT ring."""
+
+    def __init__(self, config=None):
+        self.config = config or KadopConfig()
+        store_factory = (
+            ClusteredIndexStore if self.config.store == "btree" else NaiveGzipStore
+        )
+        self.net = DhtNetwork(
+            cost=CostModel(self.config.cost),
+            replication=self.config.replication,
+            leaf_size=self.config.leaf_size,
+            overlay=self.config.overlay,
+        )
+        self._store_factory = store_factory
+        self.catalog = Catalog(self.net)
+        self.dpp = (
+            DppIndex(
+                self.net,
+                max_block_entries=self.config.dpp_block_entries,
+                ordered_splits=self.config.dpp_ordered_splits,
+                replicate_after=self.config.dpp_replicate_after,
+                replica_copies=self.config.dpp_replica_copies,
+            )
+            if self.config.use_dpp
+            else None
+        )
+        self.publisher = Publisher(
+            self.net,
+            dpp=self.dpp,
+            use_append=self.config.use_append,
+            granularity=self.config.index_granularity,
+            word_labels=self.config.word_index_labels,
+        )
+        self.reducers = BloomReducers(self)
+        from repro.kadop.optimizer import StrategyOptimizer
+
+        self.optimizer = StrategyOptimizer(self)
+        self.fundex = FundexIndex(self)
+        self.executor = QueryExecutor(self)
+        self.peers = []
+        self._resources = {}  # uri -> xml text (the "web" of includable data)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, num_peers, config=None, seed=0):
+        """Build a network of ``num_peers`` fresh peers.
+
+        ``seed`` varies peer URIs (hence node placement) across runs."""
+        system = cls(config)
+        for i in range(num_peers):
+            uri = "kadop://s%d/p%d" % (seed, i)
+            node = system.net.add_node(uri, system._store_factory(), rebuild=False)
+            system.peers.append(KadopPeer(system, len(system.peers), node))
+        system.net._rebuild_routing()
+        for peer in system.peers:
+            system.catalog.register_peer(peer.node, peer.index, peer.uri)
+        return system
+
+    def add_peer(self, uri):
+        node = self.net.add_node(uri, self._store_factory())
+        peer = KadopPeer(self, len(self.peers), node)
+        self.peers.append(peer)
+        self.catalog.register_peer(node, peer.index, uri)
+        return peer
+
+    # -- intensional resources (Section 6) ------------------------------------
+
+    def register_resource(self, uri, xml_text):
+        """Make ``uri`` resolvable as include target / function result."""
+        self._resources[uri] = xml_text
+
+    def resolver(self, uri):
+        return self._resources.get(uri)
+
+    def fundex_register(self, peer, doc_index, document):
+        """Hook called by peers when they publish intensional documents."""
+        self.fundex.register_document(peer, doc_index, document)
+
+    # -- queries ------------------------------------------------------------------
+
+    def parse(self, query_text, keyword_steps=()):
+        return parse_query(query_text, keyword_steps=keyword_steps)
+
+    def query(self, query_text, keyword_steps=(), peer=None, strategy=None):
+        """Run a query; returns the list of :class:`Answer`."""
+        answers, _ = self.query_with_report(
+            query_text, keyword_steps=keyword_steps, peer=peer, strategy=strategy
+        )
+        return answers
+
+    def query_with_report(
+        self, query_text, keyword_steps=(), peer=None, strategy=None
+    ):
+        """Run a query; returns ``(answers, QueryReport)``."""
+        pattern = (
+            query_text
+            if hasattr(query_text, "root")
+            else self.parse(query_text, keyword_steps)
+        )
+        src = peer or self.peers[0]
+        return self.executor.run(pattern, src, strategy=strategy)
+
+    def xquery(self, text, keyword_steps=(), peer=None, strategy=None):
+        """Run a FLWOR query (the XQuery subset of Section 2).
+
+        Returns ``(projected, report)`` where ``projected`` is the ordered,
+        duplicate-free list of ``(peer, doc, Posting)`` bindings of the
+        return expression."""
+        from repro.query.xquery import compile_xquery
+
+        compiled = compile_xquery(text, keyword_steps=keyword_steps)
+        src = peer or self.peers[0]
+        answers, report = self.executor.run(
+            compiled.pattern, src, strategy=strategy
+        )
+        return compiled.project(answers), report
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path):
+        """Checkpoint the network to a JSON file.
+
+        The checkpoint records the configuration, the registered
+        intensional resources, and every published document (as XML text,
+        in publish order).  :meth:`load` replays it deterministically —
+        replay-based persistence keeps the on-disk format independent of
+        every internal data structure."""
+        import dataclasses
+        import json
+
+        from repro.xmldata.serializer import document_to_xml
+
+        config = dataclasses.asdict(self.config)
+        config["cost"] = dataclasses.asdict(self.config.cost)
+        if config.get("word_index_labels") is not None:
+            config["word_index_labels"] = sorted(config["word_index_labels"])
+        docs = []
+        for peer in self.peers:
+            for doc_index in sorted(peer.documents):
+                if doc_index in peer.functional_docs:
+                    continue
+                document = peer.documents[doc_index]
+                docs.append(
+                    {
+                        "peer": peer.index,
+                        "uri": document.uri,
+                        "doc_type": document.doc_type,
+                        "xml": document_to_xml(document),
+                    }
+                )
+        state = {
+            "format": 1,
+            "num_peers": len(self.peers),
+            "peer_uris": [p.uri for p in self.peers],
+            "config": config,
+            "resources": dict(self._resources),
+            "documents": docs,
+        }
+        with open(path, "w") as handle:
+            json.dump(state, handle)
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a network from a :meth:`save` checkpoint."""
+        import json
+
+        from repro.sim.cost import CostParams
+
+        with open(path) as handle:
+            state = json.load(handle)
+        if state.get("format") != 1:
+            raise ValueError("unknown checkpoint format %r" % state.get("format"))
+        config_dict = dict(state["config"])
+        config_dict["cost"] = CostParams(**config_dict["cost"])
+        if config_dict.get("word_index_labels") is not None:
+            config_dict["word_index_labels"] = frozenset(
+                config_dict["word_index_labels"]
+            )
+        system = cls(KadopConfig(**config_dict))
+        for uri in state["peer_uris"]:
+            node = system.net.add_node(uri, system._store_factory(), rebuild=False)
+            system.peers.append(KadopPeer(system, len(system.peers), node))
+        system.net._rebuild_routing()
+        for peer in system.peers:
+            system.catalog.register_peer(peer.node, peer.index, peer.uri)
+        for uri, text in state["resources"].items():
+            system.register_resource(uri, text)
+        for entry in state["documents"]:
+            system.peers[entry["peer"]].publish(
+                entry["xml"], uri=entry["uri"], doc_type=entry["doc_type"]
+            )
+        return system
+
+    # -- stats ----------------------------------------------------------------------
+
+    @property
+    def meter(self):
+        return self.net.meter
+
+    def document_count(self):
+        return sum(len(p.documents) for p in self.peers)
+
+    def __repr__(self):
+        return "KadopNetwork(%d peers, %d docs)" % (
+            len(self.peers),
+            self.document_count(),
+        )

@@ -1,0 +1,165 @@
+"""Ordered posting lists.
+
+A :class:`PostingList` is the value type of the ``Term`` relation: the set
+of postings of one term, maintained in the lexicographic ``(p, d, sid)``
+order the paper prescribes.  It supports the operations the rest of the
+system needs: ordered insertion (publishing), range extraction (DPP block
+splits and ``[min, max]`` document filtering), merging, and iteration in
+stream order (twig join inputs).
+"""
+
+import bisect
+
+from repro.postings.posting import Posting
+
+
+class PostingList:
+    """A sorted, duplicate-free list of :class:`Posting` for one term."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, postings=(), presorted=False):
+        items = list(postings)
+        if not presorted:
+            items.sort()
+        else:
+            for i in range(1, len(items)):
+                if items[i - 1] > items[i]:
+                    raise ValueError("postings not in (p,d,sid) order")
+        deduped = []
+        for p in items:
+            if not deduped or deduped[-1] != p:
+                deduped.append(p)
+        self._items = deduped
+
+    # -- container protocol -----------------------------------------------
+
+    def __len__(self):
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __getitem__(self, idx):
+        result = self._items[idx]
+        if isinstance(idx, slice):
+            return PostingList(result, presorted=True)
+        return result
+
+    def __contains__(self, posting):
+        i = bisect.bisect_left(self._items, posting)
+        return i < len(self._items) and self._items[i] == posting
+
+    def __eq__(self, other):
+        if isinstance(other, PostingList):
+            return self._items == other._items
+        return NotImplemented
+
+    def __repr__(self):
+        if len(self._items) <= 4:
+            return "PostingList(%r)" % (self._items,)
+        return "PostingList(<%d postings, %r..%r>)" % (
+            len(self._items),
+            self._items[0],
+            self._items[-1],
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, posting):
+        """Insert ``posting`` keeping order; ignores exact duplicates."""
+        if not isinstance(posting, Posting):
+            posting = Posting(*posting)
+        i = bisect.bisect_left(self._items, posting)
+        if i < len(self._items) and self._items[i] == posting:
+            return False
+        self._items.insert(i, posting)
+        return True
+
+    def extend(self, postings):
+        """Bulk insert; more efficient than repeated :meth:`add`."""
+        incoming = sorted(postings)
+        if not incoming:
+            return
+        if not self._items or incoming[0] > self._items[-1]:
+            # common publishing case: postings arrive in increasing order
+            merged = self._items + incoming
+        else:
+            merged = sorted(self._items + incoming)
+        deduped = []
+        for p in merged:
+            if not deduped or deduped[-1] != p:
+                deduped.append(p)
+        self._items = deduped
+
+    def remove(self, posting):
+        """Delete ``posting``; returns True if it was present."""
+        i = bisect.bisect_left(self._items, posting)
+        if i < len(self._items) and self._items[i] == posting:
+            del self._items[i]
+            return True
+        return False
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def first(self):
+        return self._items[0] if self._items else None
+
+    @property
+    def last(self):
+        return self._items[-1] if self._items else None
+
+    def range(self, lo, hi):
+        """Postings ``p`` with ``lo <= p <= hi`` (inclusive bounds)."""
+        i = bisect.bisect_left(self._items, lo)
+        j = bisect.bisect_right(self._items, hi)
+        return PostingList(self._items[i:j], presorted=True)
+
+    def doc_range(self, lo_doc, hi_doc):
+        """Postings whose ``(peer, doc)`` lies in ``[lo_doc, hi_doc]``."""
+        i = bisect.bisect_left(self._items, (lo_doc[0], lo_doc[1], -1, -1, -1))
+        j = bisect.bisect_right(
+            self._items, (hi_doc[0], hi_doc[1], 2**63, 2**63, 2**63)
+        )
+        return PostingList(self._items[i:j], presorted=True)
+
+    def doc_ids(self):
+        """Ordered, duplicate-free list of ``(peer, doc)`` pairs."""
+        seen = []
+        for p in self._items:
+            did = (p.peer, p.doc)
+            if not seen or seen[-1] != did:
+                seen.append(did)
+        return seen
+
+    def split_at(self, index):
+        """Split into two PostingLists at ``index`` (for DPP block splits)."""
+        return (
+            PostingList(self._items[:index], presorted=True),
+            PostingList(self._items[index:], presorted=True),
+        )
+
+    def chunks(self, size):
+        """Yield consecutive PostingLists of at most ``size`` entries."""
+        if size < 1:
+            raise ValueError("chunk size must be >= 1")
+        for i in range(0, len(self._items), size):
+            yield PostingList(self._items[i : i + size], presorted=True)
+
+    def filter(self, predicate):
+        """New list with only postings satisfying ``predicate``."""
+        return PostingList(
+            [p for p in self._items if predicate(p)], presorted=True
+        )
+
+    def merge(self, other):
+        """Ordered union of two posting lists."""
+        result = PostingList([], presorted=True)
+        result._items = list(self._items)
+        result.extend(other)
+        return result
+
+    def items(self):
+        """The underlying (immutable by convention) sorted list."""
+        return self._items

@@ -1,0 +1,243 @@
+"""Holistic twig join over sorted posting streams.
+
+This is KadoP's index-query engine: "a multi-threaded, block-based version
+of the holistic twig join from [Bruno, Koudas, Srivastava, SIGMOD 2002]".
+The implementation follows TwigStack:
+
+* one sorted stream of postings per pattern node (``(p, d, start)`` order,
+  exactly how posting lists are stored);
+* one stack per pattern node holding nested ancestor postings, each entry
+  pointing into its parent node's stack;
+* ``get_next`` returns the next stream to act on such that ancestors are
+  pushed before their descendants;
+* pushing a leaf emits root-to-leaf *path solutions*, which a final merge
+  phase joins into full twig matches.
+
+Parent-child (``/``) and descendant-or-self edges are handled by filtering
+enumerated path solutions with the exact axis predicate — the standard way
+to keep TwigStack complete for those axes (it is only *optimal* for pure
+``//`` patterns, as in the original paper).
+"""
+
+from repro.query.pattern import Axis
+
+_INF_KEY = (float("inf"), float("inf"), float("inf"))
+
+
+def _start_key(posting):
+    return (posting.peer, posting.doc, posting.start)
+
+
+def _end_key(posting):
+    return (posting.peer, posting.doc, posting.end)
+
+
+class _Stream:
+    """Cursor over one node's sorted posting list."""
+
+    __slots__ = ("items", "pos")
+
+    def __init__(self, items):
+        self.items = items
+        self.pos = 0
+
+    def cur(self):
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def cur_start_key(self):
+        cur = self.cur()
+        return _start_key(cur) if cur is not None else _INF_KEY
+
+    def cur_end_key(self):
+        cur = self.cur()
+        return _end_key(cur) if cur is not None else _INF_KEY
+
+    def advance(self):
+        self.pos += 1
+
+    @property
+    def eof(self):
+        return self.pos >= len(self.items)
+
+
+class _StackEntry:
+    __slots__ = ("posting", "parent_ptr")
+
+    def __init__(self, posting, parent_ptr):
+        self.posting = posting
+        self.parent_ptr = parent_ptr
+
+
+class TwigJoin:
+    """One twig-join execution over a set of streams."""
+
+    def __init__(self, pattern, streams):
+        self.pattern = pattern
+        self.nodes = pattern.nodes()
+        missing = [n for n in self.nodes if n.node_id not in streams]
+        if missing:
+            raise ValueError("no stream for pattern nodes %r" % (missing,))
+        self.streams = {
+            n.node_id: _Stream(list(streams[n.node_id])) for n in self.nodes
+        }
+        self.stacks = {n.node_id: [] for n in self.nodes}
+        self.path_solutions = {
+            n.node_id: [] for n in self.nodes if n.is_leaf
+        }
+        self.postings_consumed = 0
+
+    # -- TwigStack ----------------------------------------------------------
+
+    def _exhausted(self, q):
+        """True iff no leaf stream in ``q``'s subtree has postings left.
+
+        An exhausted subtree can never emit another path solution, so
+        ``_get_next`` skips it; the main loop ends when the whole pattern is
+        exhausted (the ``end(q)`` condition of the original algorithm).
+        """
+        if q.is_leaf:
+            return self.streams[q.node_id].eof
+        return all(self._exhausted(c) for c in q.children)
+
+    def _get_next(self, q):
+        if q.is_leaf:
+            return q
+        alive = [c for c in q.children if not self._exhausted(c)]
+        for child in alive:
+            result = self._get_next(child)
+            if result is not child:
+                return result
+        nmin = min(alive, key=lambda c: self.streams[c.node_id].cur_start_key())
+        nmax = max(alive, key=lambda c: self.streams[c.node_id].cur_start_key())
+        sq = self.streams[q.node_id]
+        nmax_start = self.streams[nmax.node_id].cur_start_key()
+        # postings of q ending before every remaining nmax-branch posting
+        # starts cannot take part in any new solution: skip them.
+        while sq.cur() is not None and sq.cur_end_key() < nmax_start:
+            sq.advance()
+            self.postings_consumed += 1
+        nmin_start = self.streams[nmin.node_id].cur_start_key()
+        if sq.cur() is not None and sq.cur_start_key() <= nmin_start:
+            return q
+        return nmin
+
+    def _clean_stack(self, node, posting):
+        stack = self.stacks[node.node_id]
+        while stack:
+            top = stack[-1].posting
+            if (
+                top.peer != posting.peer
+                or top.doc != posting.doc
+                or top.end < posting.start
+            ):
+                stack.pop()
+            else:
+                return
+
+    def run(self):
+        """Execute the join; returns the list of full-match binding dicts."""
+        root = self.pattern.root
+        while not self._exhausted(root):
+            q = self._get_next(root)
+            stream = self.streams[q.node_id]
+            posting = stream.cur()
+            if posting is None:  # q itself drained; only descendants remain
+                break
+            if q.parent is not None:
+                self._clean_stack(q.parent, posting)
+            if q.parent is None or self.stacks[q.parent.node_id]:
+                self._clean_stack(q, posting)
+                parent_ptr = (
+                    len(self.stacks[q.parent.node_id]) - 1
+                    if q.parent is not None
+                    else -1
+                )
+                self.stacks[q.node_id].append(_StackEntry(posting, parent_ptr))
+                stream.advance()
+                self.postings_consumed += 1
+                if q.is_leaf:
+                    self._emit_path_solutions(q)
+                    self.stacks[q.node_id].pop()
+            else:
+                stream.advance()
+                self.postings_consumed += 1
+        return self._merge_path_solutions()
+
+    def _emit_path_solutions(self, leaf):
+        path = []
+        node = leaf
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()  # root .. leaf
+
+        def expand(depth, idx):
+            """Yield partial binding lists for path[:depth+1] ending at
+            stack entry ``idx`` of path[depth]."""
+            node = path[depth]
+            entry = self.stacks[node.node_id][idx]
+            if depth == 0:
+                yield [entry.posting]
+                return
+            for parent_idx in range(entry.parent_ptr + 1):
+                for partial in expand(depth - 1, parent_idx):
+                    yield partial + [entry.posting]
+
+        leaf_stack = self.stacks[leaf.node_id]
+        for bindings in expand(len(path) - 1, len(leaf_stack) - 1):
+            if self._path_solution_valid(path, bindings):
+                self.path_solutions[leaf.node_id].append(
+                    {node.node_id: p for node, p in zip(path, bindings)}
+                )
+
+    @staticmethod
+    def _path_solution_valid(path, bindings):
+        for i in range(1, len(path)):
+            if not path[i].axis.admits(bindings[i - 1], bindings[i]):
+                return False
+        return True
+
+    def _merge_path_solutions(self):
+        """Join per-leaf path solutions on their shared prefix nodes."""
+        leaves = [n for n in self.nodes if n.is_leaf]
+        merged = None
+        merged_keys = set()
+        for leaf in leaves:
+            solutions = self.path_solutions[leaf.node_id]
+            leaf_keys = set()
+            node = leaf
+            while node is not None:
+                leaf_keys.add(node.node_id)
+                node = node.parent
+            if merged is None:
+                merged, merged_keys = solutions, leaf_keys
+                continue
+            shared = tuple(sorted(merged_keys & leaf_keys))
+            index = {}
+            for sol in solutions:
+                index.setdefault(tuple(sol[k] for k in shared), []).append(sol)
+            next_merged = []
+            for left in merged:
+                for right in index.get(tuple(left[k] for k in shared), ()):
+                    combined = dict(left)
+                    combined.update(right)
+                    next_merged.append(combined)
+            merged, merged_keys = next_merged, merged_keys | leaf_keys
+        if merged is None:
+            return []
+        unique = {}
+        for sol in merged:
+            unique.setdefault(tuple(sorted(sol.items())), sol)
+        result = list(unique.values())
+        result.sort(key=lambda sol: tuple(sol[k] for k in sorted(sol)))
+        return result
+
+
+def twig_join(pattern, streams):
+    """Run a holistic twig join.
+
+    ``streams`` maps ``node_id`` to an iterable of postings in
+    ``(p, d, sid)`` order.  Returns the list of binding dicts
+    (``node_id → Posting``), in lexicographic output order.
+    """
+    return TwigJoin(pattern, streams).run()

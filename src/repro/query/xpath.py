@@ -1,0 +1,251 @@
+"""Parser for the XPath subset used throughout the paper.
+
+Accepted syntax (all forms appearing in the paper's examples)::
+
+    //article//author//Ullman            descendant steps
+    /a/b                                 child steps
+    //article[. contains "Ullman"]       keyword predicate (also ".contains")
+    //article[//title]//author           existential branch
+    //a[b]                               child-axis branch
+    //article[contains(., 'xml')]        contains() function on self
+    //article[contains(.//title,'db')]   contains() on a relative path
+    //a[//b][//c]                        multiple predicates
+    //a[contains(.//b,'x') and contains(.//c,'y')]
+
+A bare name step like ``Ullman`` in ``//article//author//Ullman`` denotes a
+descendant element *or keyword* — KadoP indexes both labels and words;
+following the paper's usage we parse trailing name steps that are not
+followed by anything as label steps, unless ``as_word`` heuristics apply.
+The paper's query of Figure 3 treats ``Ullman`` as a keyword; use the
+explicit predicate form or :func:`parse_query`'s ``keyword_steps`` to get
+word semantics for trailing steps.
+"""
+
+import re
+
+from repro.errors import QueryParseError
+from repro.query.pattern import Axis, PatternNode, TreePattern
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<eq>=)
+  | (?P<at>@)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<name>[A-Za-z_][\w.-]*)
+  | (?P<star>\*)
+  | (?P<dot>\.)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise QueryParseError("bad character %r in query at %d" % (text[pos], pos))
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group(0)))
+    return tokens
+
+
+class _TokenCursor:
+    def __init__(self, tokens, source):
+        self.tokens = tokens
+        self.i = 0
+        self.source = source
+
+    def peek(self):
+        return self.tokens[self.i] if self.i < len(self.tokens) else (None, None)
+
+    def next(self):
+        tok = self.peek()
+        self.i += 1
+        return tok
+
+    def accept(self, kind, value=None):
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.i += 1
+            return v
+        return None
+
+    def expect(self, kind, value=None):
+        got = self.accept(kind, value)
+        if got is None:
+            raise QueryParseError(
+                "expected %s in query %r near token %d" % (value or kind, self.source, self.i)
+            )
+        return got
+
+    def eof(self):
+        return self.i >= len(self.tokens)
+
+
+def parse_query(text, keyword_steps=()):
+    """Parse ``text`` into a :class:`~repro.query.pattern.TreePattern`.
+
+    ``keyword_steps`` is a collection of step names to interpret as keyword
+    (word) nodes instead of element labels — e.g. the paper's Figure 3
+    query is ``parse_query("//article//author//Ullman",
+    keyword_steps={"Ullman"})``.
+    """
+    cursor = _TokenCursor(_tokenize(text), text)
+    keyword_steps = {k.lower() for k in keyword_steps}
+    root = _parse_path(cursor, keyword_steps, top_level=True)
+    if not cursor.eof():
+        raise QueryParseError("trailing tokens in query %r" % text)
+    return TreePattern(root, source=text)
+
+
+def _parse_path(cursor, keyword_steps, top_level=False):
+    """Parse ``(/|//)step (...)*``; returns the first step node."""
+    axis = _parse_axis(cursor, default=None)
+    if axis is None:
+        if top_level:
+            raise QueryParseError("query must start with / or // (%r)" % cursor.source)
+        axis = Axis.CHILD  # relative path [b] means child::b
+    first = _parse_step(cursor, axis, keyword_steps)
+    current = first
+    while True:
+        axis = _parse_axis(cursor, default=None)
+        if axis is None:
+            return first
+        step = _parse_step(cursor, axis, keyword_steps)
+        current.add_child(step)
+        current = step
+
+
+def _parse_axis(cursor, default):
+    if cursor.accept("dslash") is not None:
+        return Axis.DESCENDANT
+    if cursor.accept("slash") is not None:
+        return Axis.CHILD
+    return default
+
+
+def _parse_step(cursor, axis, keyword_steps):
+    kind, value = cursor.peek()
+    if kind == "at":
+        # attributes are folded into child elements (Section 2), so
+        # ``@name`` is sugar for a child-axis step on the attribute label
+        cursor.next()
+        name = cursor.expect("name")
+        node = PatternNode(label=name, axis=Axis.CHILD)
+        while cursor.accept("lbracket") is not None:
+            _parse_predicate(cursor, node, keyword_steps)
+            cursor.expect("rbracket")
+        return node
+    if kind == "star":
+        cursor.next()
+        node = PatternNode(label="*", axis=axis)
+    elif kind == "name":
+        cursor.next()
+        if value.lower() in keyword_steps:
+            word_axis = (
+                Axis.DESCENDANT_OR_SELF if axis is Axis.DESCENDANT else axis
+            )
+            node = PatternNode(word=value, axis=word_axis)
+        else:
+            node = PatternNode(label=value, axis=axis)
+    else:
+        raise QueryParseError(
+            "expected a name test in query %r near token %d" % (cursor.source, cursor.i)
+        )
+    while cursor.accept("lbracket") is not None:
+        _parse_predicate(cursor, node, keyword_steps)
+        cursor.expect("rbracket")
+    return node
+
+
+def _parse_predicate(cursor, node, keyword_steps):
+    while True:
+        _parse_predicate_term(cursor, node, keyword_steps)
+        if cursor.accept("name", "and") is None:
+            return
+
+
+def _parse_predicate_term(cursor, node, keyword_steps):
+    kind, value = cursor.peek()
+    if kind == "at":
+        cursor.next()
+        name = cursor.expect("name")
+        attr = PatternNode(label=name, axis=Axis.CHILD)
+        node.add_child(attr)
+        if cursor.accept("eq") is not None:
+            attr.value_equals = _string_value(cursor.expect("string"))
+            _attach_words(attr, attr.value_equals)
+        return
+    if kind == "dot":
+        cursor.next()
+        if cursor.accept("eq") is not None:
+            # the paper's value condition: [. = "s"]
+            value = _string_value(cursor.expect("string"))
+            if node.value_equals is not None and node.value_equals != value:
+                raise QueryParseError(
+                    "conflicting equality conditions on one node"
+                )
+            node.value_equals = value
+            _attach_words(node, value)
+            return
+        # ". contains 'w'"  /  ".contains 'w'"
+        cursor.expect("name", "contains")
+        word = _string_value(cursor.expect("string"))
+        _attach_words(node, word)
+        return
+    if kind == "name" and value == "contains":
+        cursor.next()
+        cursor.expect("lparen")
+        target = _parse_contains_target(cursor, node, keyword_steps)
+        cursor.expect("comma")
+        word = _string_value(cursor.expect("string"))
+        cursor.expect("rparen")
+        _attach_words(target, word)
+        return
+    # existential branch: a relative or absolute path
+    branch = _parse_path(cursor, keyword_steps)
+    node.add_child(branch)
+
+
+def _parse_contains_target(cursor, node, keyword_steps):
+    """Parse the first argument of contains(): ``.`` or ``.//path``."""
+    cursor.expect("dot")
+    kind, _ = cursor.peek()
+    if kind in ("dslash", "slash"):
+        branch = _parse_path(cursor, keyword_steps)
+        node.add_child(branch)
+        # the word condition applies to the last step of the branch
+        last = branch
+        while last.children:
+            candidates = [c for c in last.children if not c.is_word]
+            if not candidates:
+                break
+            last = candidates[-1]
+        return last
+    return node
+
+
+def _attach_words(node, phrase):
+    """Attach each word of ``phrase`` as a descendant-or-self word node."""
+    words = phrase.split()
+    if not words:
+        raise QueryParseError("empty contains() string")
+    for word in words:
+        node.add_child(PatternNode(word=word, axis=Axis.DESCENDANT_OR_SELF))
+
+
+def _string_value(token):
+    return token[1:-1]

@@ -1,0 +1,21 @@
+"""Deterministic cost-model and scheduling substrate.
+
+The paper's experiments ran on the Grid5000 testbed; this reproduction runs
+on one machine.  Every KadoP operation is really executed in-process (the
+DHT really stores postings, queries really produce answers), while this
+package accounts *simulated* wall-clock time and network traffic:
+
+* :class:`TrafficMeter` counts bytes transferred, by category;
+* :class:`CostParams` / :class:`CostModel` turn byte counts, hop counts and
+  posting counts into seconds, using fixed calibrated rates;
+* :class:`Scheduler` computes the makespan of a task graph under per-peer
+  resource capacities (egress link, ingress link, disk, CPU), which is what
+  produces the parallel-transfer gains of the DPP (Section 4) and the
+  pipelining gains of Section 3.
+"""
+
+from repro.sim.cost import CostModel, CostParams
+from repro.sim.meter import TrafficMeter
+from repro.sim.tasks import Scheduler, Task
+
+__all__ = ["CostModel", "CostParams", "TrafficMeter", "Scheduler", "Task"]

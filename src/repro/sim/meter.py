@@ -1,0 +1,66 @@
+"""Byte-accurate traffic accounting.
+
+Section 4.3 of the paper reports total traffic for a query workload and
+Section 5.4 reports per-strategy *normalized data volume*; both require the
+system to know exactly how many bytes every operation put on the wire.
+Every message sent through :mod:`repro.net` records its payload here.
+"""
+
+from collections import Counter
+
+
+class TrafficMeter:
+    """Accumulates bytes sent over the (simulated) network, by category.
+
+    Categories used by the system:
+
+    ``postings``   posting-list payloads (index construction and retrieval)
+    ``filters``    Structural Bloom Filters (Section 5)
+    ``control``    DHT control traffic: routing envelopes, DPP root blocks,
+                   condition lists, acknowledgements
+    ``documents``  final query answers shipped from document peers
+    """
+
+    def __init__(self):
+        self._by_category = Counter()
+        self._messages = Counter()
+
+    def record(self, category, nbytes):
+        """Record a message of ``nbytes`` payload in ``category``."""
+        if nbytes < 0:
+            raise ValueError("cannot record negative byte count %r" % (nbytes,))
+        self._by_category[category] += nbytes
+        self._messages[category] += 1
+
+    def bytes(self, category=None):
+        """Total bytes recorded, overall or for one category."""
+        if category is None:
+            return sum(self._by_category.values())
+        return self._by_category[category]
+
+    def messages(self, category=None):
+        """Number of messages recorded, overall or for one category."""
+        if category is None:
+            return sum(self._messages.values())
+        return self._messages[category]
+
+    def snapshot(self):
+        """A dict copy of per-category byte counts."""
+        return dict(self._by_category)
+
+    def reset(self):
+        """Zero all counters (used between experiment runs)."""
+        self._by_category.clear()
+        self._messages.clear()
+
+    def delta_since(self, snapshot):
+        """Per-category bytes recorded since ``snapshot`` was taken."""
+        current = self.snapshot()
+        keys = set(current) | set(snapshot)
+        return {k: current.get(k, 0) - snapshot.get(k, 0) for k in keys}
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%d" % (cat, n) for cat, n in sorted(self._by_category.items())
+        )
+        return "TrafficMeter(%s)" % parts

@@ -1,0 +1,166 @@
+"""A deterministic task-graph scheduler with capacity-slot resources.
+
+Parallel behaviour — the heart of the DPP experiments — is modelled as a
+directed acyclic graph of tasks with fixed durations, competing for named
+resources.  A resource has an integer ``capacity``: the number of tasks that
+may hold it concurrently (e.g. a consumer peer's ingress link with capacity
+``K`` models the paper's "maximum degree of parallelism K" for DPP block
+transfers; a producer's egress link with capacity 1 serializes its
+transfers).
+
+The schedule is computed by discrete-event list scheduling: at every event
+time, ready tasks are started greedily in submission order if *all* their
+resources have a free slot.  Because ties are broken by submission order the
+result is fully deterministic.
+"""
+
+import heapq
+from itertools import count
+
+
+class Task:
+    """One unit of simulated work.
+
+    ``duration``   simulated seconds of work once started.
+    ``deps``       tasks that must finish before this one may start.
+    ``resources``  names of resources a slot of which is held while running.
+    """
+
+    __slots__ = ("name", "duration", "deps", "resources", "seq", "start", "finish")
+
+    def __init__(self, name, duration, deps=(), resources=()):
+        if duration < 0:
+            raise ValueError("task %r has negative duration %r" % (name, duration))
+        self.name = name
+        self.duration = float(duration)
+        self.deps = list(deps)
+        self.resources = tuple(resources)
+        self.seq = None  # assigned by the scheduler
+        self.start = None
+        self.finish = None
+
+    def __repr__(self):
+        return "Task(%r, %.6gs)" % (self.name, self.duration)
+
+
+class Scheduler:
+    """Builds and runs a task graph; see module docstring."""
+
+    def __init__(self):
+        self._tasks = []
+        self._capacity = {}
+        self._seq = count()
+
+    def add_resource(self, name, capacity):
+        """Declare resource ``name`` with integer slot ``capacity``."""
+        if capacity < 1:
+            raise ValueError("resource %r needs capacity >= 1" % (name,))
+        self._capacity[name] = int(capacity)
+        return name
+
+    def has_resource(self, name):
+        return name in self._capacity
+
+    def add_task(self, name, duration, deps=(), resources=()):
+        """Create, register, and return a :class:`Task`."""
+        task = Task(name, duration, deps=deps, resources=resources)
+        for res in task.resources:
+            if res not in self._capacity:
+                raise KeyError("unknown resource %r for task %r" % (res, name))
+        task.seq = next(self._seq)
+        self._tasks.append(task)
+        return task
+
+    def run(self):
+        """Execute the graph; returns the makespan in simulated seconds.
+
+        Start/finish times are stored on each task.
+        """
+        if not self._tasks:
+            return 0.0
+
+        remaining_deps = {t.seq: len(t.deps) for t in self._tasks}
+        dependents = {t.seq: [] for t in self._tasks}
+        by_seq = {t.seq: t for t in self._tasks}
+        for task in self._tasks:
+            for dep in task.deps:
+                if by_seq.get(dep.seq) is not dep:
+                    raise ValueError(
+                        "task %r depends on unregistered task %r" % (task.name, dep.name)
+                    )
+                dependents[dep.seq].append(task)
+
+        free = dict(self._capacity)
+        ready = [t for t in self._tasks if not remaining_deps[t.seq]]
+        ready.sort(key=lambda t: t.seq)
+        running = []  # heap of (finish_time, seq, task)
+        now = 0.0
+        completed = 0
+
+        def try_start():
+            nonlocal ready
+            still_waiting = []
+            for task in ready:
+                if all(free[r] > 0 for r in task.resources):
+                    for r in task.resources:
+                        free[r] -= 1
+                    task.start = now
+                    task.finish = now + task.duration
+                    heapq.heappush(running, (task.finish, task.seq, task))
+                else:
+                    still_waiting.append(task)
+            ready = still_waiting
+
+        try_start()
+        while running:
+            now, _, done = heapq.heappop(running)
+            batch = [done]
+            while running and running[0][0] == now:
+                batch.append(heapq.heappop(running)[2])
+            for task in batch:
+                completed += 1
+                for r in task.resources:
+                    free[r] += 1
+                for child in dependents[task.seq]:
+                    remaining_deps[child.seq] -= 1
+                    if not remaining_deps[child.seq]:
+                        ready.append(child)
+            ready.sort(key=lambda t: t.seq)
+            try_start()
+
+        if completed != len(self._tasks):
+            stuck = [t.name for t in self._tasks if t.finish is None]
+            raise RuntimeError(
+                "schedule did not complete; cyclic dependencies among %r" % (stuck,)
+            )
+        return now
+
+    @property
+    def tasks(self):
+        return list(self._tasks)
+
+    def makespan_of(self, tasks):
+        """Max finish time over ``tasks`` (after :meth:`run`)."""
+        return max(t.finish for t in tasks)
+
+
+def serial_time(durations):
+    """Helper: total time of strictly sequential work."""
+    return float(sum(durations))
+
+
+def parallel_time(durations, degree):
+    """Helper: makespan of independent tasks on ``degree`` parallel workers.
+
+    Deterministic longest-processing-time-first list scheduling.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    loads = sorted(durations, reverse=True)
+    if not loads:
+        return 0.0
+    heap = [0.0] * min(degree, len(loads))
+    for d in loads:
+        soonest = heapq.heappop(heap)
+        heapq.heappush(heap, soonest + d)
+    return max(heap)

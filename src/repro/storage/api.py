@@ -1,0 +1,94 @@
+"""The local store interface and its I/O accounting.
+
+A store maps string *terms* to ordered posting lists.  Implementations
+track their (simulated) disk I/O in a :class:`StoreStats` so the publishing
+and query cost models can charge realistic times: the naive store's
+read-modify-write pattern shows up directly as quadratic ``bytes_read``.
+"""
+
+import abc
+
+
+class StoreStats:
+    """Cumulative I/O counters for one store instance."""
+
+    __slots__ = ("bytes_read", "bytes_written", "num_ops")
+
+    def __init__(self):
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.num_ops = 0
+
+    def snapshot(self):
+        return (self.bytes_read, self.bytes_written, self.num_ops)
+
+    def delta_since(self, snap):
+        return StoreStatsDelta(
+            self.bytes_read - snap[0],
+            self.bytes_written - snap[1],
+            self.num_ops - snap[2],
+        )
+
+    def __repr__(self):
+        return "StoreStats(read=%d, written=%d, ops=%d)" % (
+            self.bytes_read,
+            self.bytes_written,
+            self.num_ops,
+        )
+
+
+class StoreStatsDelta:
+    """Difference between two :class:`StoreStats` snapshots."""
+
+    __slots__ = ("bytes_read", "bytes_written", "num_ops")
+
+    def __init__(self, bytes_read, bytes_written, num_ops):
+        self.bytes_read = bytes_read
+        self.bytes_written = bytes_written
+        self.num_ops = num_ops
+
+    def cost_seconds(self, cost_model):
+        """Convert this I/O delta to simulated seconds."""
+        return (
+            cost_model.disk_read_time(self.bytes_read)
+            + cost_model.disk_write_time(self.bytes_written)
+            + cost_model.store_op_time(self.num_ops)
+        )
+
+
+class Store(abc.ABC):
+    """Abstract term → posting-list store."""
+
+    def __init__(self):
+        self.stats = StoreStats()
+
+    @abc.abstractmethod
+    def put(self, term, postings):
+        """Replace the full posting list of ``term`` (old DHT semantics:
+        read existing value, reconcile with ``postings``, write back)."""
+
+    @abc.abstractmethod
+    def append(self, term, postings):
+        """Add ``postings`` to ``term`` without reading the existing list
+        (the paper's DHT API extension)."""
+
+    @abc.abstractmethod
+    def get(self, term):
+        """Return the :class:`~repro.postings.PostingList` of ``term``
+        (empty list if absent)."""
+
+    @abc.abstractmethod
+    def delete(self, term, posting=None):
+        """Remove one posting of ``term``, or the whole term if ``posting``
+        is None.  Returns True if something was removed."""
+
+    @abc.abstractmethod
+    def terms(self):
+        """Iterate the stored terms in lexicographic order."""
+
+    @abc.abstractmethod
+    def count(self, term):
+        """Number of postings stored for ``term`` (0 if absent)."""
+
+    def __contains__(self, term):
+        return self.count(term) > 0

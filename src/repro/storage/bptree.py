@@ -1,0 +1,288 @@
+"""A paged B+-tree over byte-string keys.
+
+This is the BerkeleyDB replacement of Section 3: the per-peer ``Term``
+relation is stored as a clustered index with the term as search key and
+postings in ``(p, d, sid)`` order (see
+:class:`repro.storage.clustered.ClusteredIndexStore`, which builds composite
+keys on top of this tree).
+
+The tree is a textbook B+-tree: inner nodes hold separator keys and child
+pointers, leaves hold key/value pairs and are chained for range scans.
+"Paged" refers to the I/O accounting: every node visit is charged one page
+read and every node modification one page write against
+:class:`~repro.storage.api.StoreStats`-style counters, so lookups and
+appends cost O(log n) simulated I/O — the linear-publishing behaviour the
+paper reports.
+"""
+
+import bisect
+
+PAGE_SIZE = 4096
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys = []
+        self.values = []
+        self.next = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys = []
+        self.children = []
+
+
+class BPlusTree:
+    """B+-tree mapping bytes keys to arbitrary values.
+
+    ``order`` is the maximum number of keys per node; nodes split when they
+    exceed it.  Deletion removes entries from leaves without rebalancing
+    (underfull leaves are tolerated), which keeps the implementation simple
+    and is harmless for the index workloads here, where deletes are rare —
+    the paper itself treats document modification as delete + reinsert.
+    """
+
+    def __init__(self, order=64, page_size=PAGE_SIZE):
+        if order < 4:
+            raise ValueError("order must be >= 4, got %d" % order)
+        self.order = order
+        self.page_size = page_size
+        self._root = _Leaf()
+        self._size = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self._dirty = None  # batch mode: set of touched node ids
+
+    def __len__(self):
+        return self._size
+
+    def _mark_dirty(self, node):
+        """Charge one page write, or record the page in batch mode.
+
+        Real stores (BerkeleyDB included) write a dirty page once per
+        flush no matter how many records in a batch touched it; the batch
+        mode of :meth:`insert_many` reproduces that, which is what makes
+        bulk appends cost O(pages touched), not O(records)."""
+        if self._dirty is None:
+            self.pages_written += 1
+        else:
+            self._dirty.add(id(node))
+
+    def insert_many(self, pairs):
+        """Bulk insert; dirty pages are charged once for the whole batch.
+        Returns the number of new keys."""
+        if self._dirty is not None:
+            raise RuntimeError("insert_many cannot nest")
+        self._dirty = set()
+        added = 0
+        try:
+            for key, value in pairs:
+                if self.insert(key, value):
+                    added += 1
+        finally:
+            # each dirty page is read-modified-written once per batch
+            self.pages_read += len(self._dirty)
+            self.pages_written += len(self._dirty)
+            self._dirty = None
+        return added
+
+    @property
+    def bytes_read(self):
+        return self.pages_read * self.page_size
+
+    @property
+    def bytes_written(self):
+        return self.pages_written * self.page_size
+
+    # -- lookup ------------------------------------------------------------
+
+    def _find_leaf(self, key):
+        """Descend to the leaf that would contain ``key``; charge reads."""
+        node = self._root
+        self.pages_read += 1
+        while isinstance(node, _Inner):
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+            self.pages_read += 1
+        return node
+
+    def get(self, key, default=None):
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return default
+
+    def __contains__(self, key):
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert or overwrite ``key``; returns True if the key was new."""
+        result = self._insert(self._root, key, value)
+        if result is None:
+            return self._last_insert_was_new
+        sep, right = result
+        new_root = _Inner()
+        new_root.keys = [sep]
+        new_root.children = [self._root, right]
+        self._root = new_root
+        self._mark_dirty(new_root)
+        return self._last_insert_was_new
+
+    def _insert(self, node, key, value):
+        if isinstance(node, _Leaf):
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                self._last_insert_was_new = False
+            else:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                self._size += 1
+                self._last_insert_was_new = True
+            self._mark_dirty(node)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+
+        idx = bisect.bisect_right(node.keys, key)
+        result = self._insert(node.children[idx], key, value)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        self._mark_dirty(node)
+        if len(node.keys) > self.order:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        self._mark_dirty(leaf)
+        self._mark_dirty(right)
+        return right.keys[0], right
+
+    def _split_inner(self, node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Inner()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._mark_dirty(node)
+        self._mark_dirty(right)
+        return sep, right
+
+    # -- deletion ----------------------------------------------------------
+
+    def delete(self, key):
+        """Remove ``key``; returns True if it existed."""
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            del leaf.keys[i]
+            del leaf.values[i]
+            self._size -= 1
+            self._mark_dirty(leaf)
+            return True
+        return False
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self, lo=None, hi=None):
+        """Yield ``(key, value)`` pairs with ``lo <= key < hi`` in order.
+
+        ``lo`` None scans from the smallest key; ``hi`` None to the end.
+        """
+        if lo is None:
+            node = self._root
+            self.pages_read += 1
+            while isinstance(node, _Inner):
+                node = node.children[0]
+                self.pages_read += 1
+            leaf, i = node, 0
+        else:
+            leaf = self._find_leaf(lo)
+            i = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if hi is not None and key >= hi:
+                    return
+                yield key, leaf.values[i]
+                i += 1
+            leaf = leaf.next
+            if leaf is not None:
+                self.pages_read += 1
+            i = 0
+
+    def scan_prefix(self, prefix):
+        """Yield ``(key, value)`` for all keys starting with ``prefix``."""
+        hi = _prefix_upper_bound(prefix)
+        return self.scan(lo=prefix, hi=hi)
+
+    def keys(self):
+        return (k for k, _ in self.scan())
+
+    # -- invariants (used by tests) -----------------------------------------
+
+    def check_invariants(self):
+        """Verify ordering, separator, and leaf-chain invariants."""
+        leaves = []
+        self._check_node(self._root, None, None, leaves, is_root=True)
+        # leaf chain must enumerate exactly the in-order leaves
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        chained = []
+        while node is not None:
+            chained.append(node)
+            node = node.next
+        assert chained == leaves, "leaf chain disagrees with tree order"
+        flat = [k for leaf in leaves for k in leaf.keys]
+        assert flat == sorted(flat), "keys out of order"
+        assert len(set(flat)) == len(flat), "duplicate keys"
+        assert len(flat) == self._size, "size counter drift"
+
+    def _check_node(self, node, lo, hi, leaves, is_root=False):
+        if isinstance(node, _Leaf):
+            for k in node.keys:
+                assert lo is None or k >= lo, "leaf key below separator"
+                assert hi is None or k < hi, "leaf key above separator"
+            leaves.append(node)
+            return
+        assert node.keys == sorted(node.keys), "inner keys out of order"
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert node.keys, "non-root inner node with no keys"
+        bounds = [lo] + list(node.keys) + [hi]
+        for child, (clo, chi) in zip(node.children, zip(bounds, bounds[1:])):
+            self._check_node(child, clo, chi, leaves)
+
+
+def _prefix_upper_bound(prefix):
+    """Smallest byte string greater than every string with ``prefix``."""
+    buf = bytearray(prefix)
+    while buf:
+        if buf[-1] != 0xFF:
+            buf[-1] += 1
+            return bytes(buf)
+        buf.pop()
+    return None  # prefix was all 0xFF: scan to the end

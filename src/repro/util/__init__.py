@@ -1,0 +1,15 @@
+"""Shared low-level helpers: hashing, varints, RNG, statistics."""
+
+from repro.util.hashing import stable_hash, stable_hash_bytes
+from repro.util.varint import decode_uvarint, encode_uvarint
+from repro.util.stats import Summary, mean, percentile
+
+__all__ = [
+    "stable_hash",
+    "stable_hash_bytes",
+    "encode_uvarint",
+    "decode_uvarint",
+    "Summary",
+    "mean",
+    "percentile",
+]

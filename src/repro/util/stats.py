@@ -1,0 +1,76 @@
+"""Small statistics helpers used by the experiment drivers."""
+
+import math
+
+
+def mean(values):
+    """Arithmetic mean of a non-empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values, q):
+    """The ``q``-th percentile (0..100) using linear interpolation."""
+    values = sorted(values)
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100], got %r" % (q,))
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100) * (len(values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return values[low]
+    frac = rank - low
+    return values[low] * (1 - frac) + values[high] * frac
+
+
+class Summary:
+    """Streaming summary of a series of numeric observations."""
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._sumsq = 0.0
+
+    def add(self, value):
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        if not self.count:
+            raise ValueError("mean of empty summary")
+        return self.total / self.count
+
+    @property
+    def variance(self):
+        if not self.count:
+            raise ValueError("variance of empty summary")
+        mu = self.mean
+        return max(0.0, self._sumsq / self.count - mu * mu)
+
+    @property
+    def stddev(self):
+        return math.sqrt(self.variance)
+
+    def __repr__(self):
+        if not self.count:
+            return "Summary(empty)"
+        return "Summary(n=%d, mean=%.4g, min=%.4g, max=%.4g)" % (
+            self.count,
+            self.mean,
+            self.min,
+            self.max,
+        )

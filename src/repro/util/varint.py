@@ -1,0 +1,54 @@
+"""LEB128-style variable-length integer encoding.
+
+Postings are shipped between peers in a compact binary form so that the
+traffic meter accounts byte-accurate volumes (Section 4.3 and Section 5 of
+the paper report data volumes in MB).  Varints are the standard choice for
+posting lists: small deltas encode in one byte.
+"""
+
+
+def encode_uvarint(value):
+    """Encode a non-negative integer as LEB128 bytes."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative value %d" % value)
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data, offset=0):
+    """Decode a LEB128 varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint at offset %d" % offset)
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("uvarint too long at offset %d" % offset)
+
+
+def uvarint_size(value):
+    """Return the number of bytes :func:`encode_uvarint` uses for ``value``."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative value %d" % value)
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

@@ -1,0 +1,27 @@
+"""Workload generators replacing the paper's data sets.
+
+The paper's experiments use the August 2006 DBLP corpus (cut into 20 KB
+documents), the INEX HCO collection (publication records with abstracts in
+separate included files), and structure statistics of IMDB, XMark,
+SwissProt and NASA (Table 1).  None of these are available offline, so this
+package generates structure-matched synthetic equivalents; DESIGN.md
+documents why each substitution preserves the behaviour under test (posting
+list skew for DBLP, include fan-out for INEX, element-width distribution
+for Table 1).
+"""
+
+from repro.workloads.dblp import DblpGenerator
+from repro.workloads.inex import InexGenerator
+from repro.workloads.xmark import XMARK_QUERIES, XMarkGenerator
+from repro.workloads.profiles import DATASET_PROFILES, generate_profile_document
+from repro.workloads.queries import traffic_workload
+
+__all__ = [
+    "DblpGenerator",
+    "InexGenerator",
+    "XMarkGenerator",
+    "XMARK_QUERIES",
+    "DATASET_PROFILES",
+    "generate_profile_document",
+    "traffic_workload",
+]

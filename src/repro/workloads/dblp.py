@@ -1,0 +1,115 @@
+"""A DBLP-like corpus generator.
+
+The paper uses the Aug. 2006 DBLP data (340 MB), cut into small XML
+documents of 20 KB each, republished in several copies for larger volumes.
+This generator reproduces the properties the experiments depend on:
+
+* record mix: ~50% ``inproceedings``, ~30% ``article``, plus books,
+  theses and www entries — so ``//article`` selects a strict subset of
+  records (which is what lets AB filters prune ``author``, Figure 7(b));
+* every record has ``author`` (1..3), ``title``, ``year`` and a venue
+  element, making ``author`` the longest posting list, then ``title``
+  (the skew reported in Section 4.3);
+* author names are Zipf-skewed, and the rare author "Ullman" appears in a
+  small configurable fraction of records (the paper's query constant);
+* documents serialize to ≈ 20 KB.
+"""
+
+import random
+
+from repro.workloads import vocab
+
+RECORD_KINDS = (
+    ("inproceedings", 0.50),
+    ("article", 0.30),
+    ("www", 0.10),
+    ("book", 0.05),
+    ("phdthesis", 0.05),
+)
+
+#: fraction of records authored by the rare author
+RARE_AUTHOR_RATE = 1 / 400.0
+
+
+class DblpGenerator:
+    """Deterministic generator of DBLP-like 20 KB documents."""
+
+    def __init__(self, seed=0, target_doc_bytes=20_000):
+        self.seed = seed
+        self.target_doc_bytes = target_doc_bytes
+        self._doc_counter = 0
+
+    def _record_kind(self, rng):
+        u = rng.random()
+        acc = 0.0
+        for kind, weight in RECORD_KINDS:
+            acc += weight
+            if u < acc:
+                return kind
+        return RECORD_KINDS[-1][0]
+
+    def _author(self, rng):
+        if rng.random() < RARE_AUTHOR_RATE:
+            return "Jeffrey " + vocab.RARE_AUTHOR
+        first = vocab.zipf_choice(rng, vocab.FIRST_NAMES)
+        last = vocab.zipf_choice(rng, vocab.LAST_NAMES)
+        return "%s %s" % (first, last)
+
+    def _title(self, rng):
+        nwords = rng.randint(4, 9)
+        words = [vocab.zipf_choice(rng, vocab.TITLE_WORDS) for _ in range(nwords)]
+        return " ".join(words)
+
+    def _record(self, rng, seq):
+        kind = self._record_kind(rng)
+        parts = ["<%s key=\"k%d\">" % (kind, seq)]
+        for _ in range(rng.randint(1, 3)):
+            parts.append("<author>%s</author>" % self._author(rng))
+        parts.append("<title>%s</title>" % self._title(rng))
+        parts.append("<year>%d</year>" % rng.randint(1970, 2006))
+        if kind == "article":
+            parts.append(
+                "<journal>%s</journal>" % vocab.zipf_choice(rng, vocab.JOURNALS)
+            )
+            parts.append("<volume>%d</volume>" % rng.randint(1, 40))
+        elif kind == "inproceedings":
+            parts.append(
+                "<booktitle>%s</booktitle>"
+                % vocab.zipf_choice(rng, vocab.CONFERENCES)
+            )
+        parts.append("<pages>%d-%d</pages>" % (rng.randint(1, 400), rng.randint(401, 800)))
+        parts.append("</%s>" % kind)
+        return "".join(parts)
+
+    def document(self, doc_seq=None):
+        """One ~20 KB document: ``<dblp>`` wrapping many records."""
+        if doc_seq is None:
+            doc_seq = self._doc_counter
+            self._doc_counter += 1
+        rng = random.Random("%s:%s" % (self.seed, doc_seq))
+        parts = ["<dblp>"]
+        size = 20
+        seq = doc_seq * 10_000
+        while size < self.target_doc_bytes:
+            record = self._record(rng, seq)
+            seq += 1
+            parts.append(record)
+            size += len(record)
+        parts.append("</dblp>")
+        return "".join(parts)
+
+    def documents(self, count, start=0):
+        """``count`` documents, deterministic for a (seed, index) pair."""
+        return [self.document(start + i) for i in range(count)]
+
+    def documents_for_bytes(self, total_bytes, start=0):
+        """Enough documents to total roughly ``total_bytes`` of XML."""
+        docs = []
+        size = 0
+        index = start
+        while size < total_bytes:
+            doc = self.document(index)
+            docs.append(doc)
+            size += len(doc)
+            index += 1
+        return docs

@@ -1,0 +1,91 @@
+"""An INEX-HCO-like collection for the Fundex experiments (Section 6).
+
+The paper's Fundex tests use the INEX HCO collection: 28 000 publication
+descriptions, each referencing an abstract kept in a separate ~1 KB file —
+56 000 small documents in total.  The query of Figure 9,
+
+    //article[contains(.//title,'system') and contains(.//abstract,'interface')]
+
+has very frequent terms (``title``, ``article``, ``abstract`` all have
+≥ 28 000 postings; ``system`` and ``interface`` are reasonably frequent)
+but only ~10 actual matches.  This generator reproduces exactly that
+regime: the fraction of documents whose title contains "system" and whose
+abstract contains "interface" is controlled so the expected number of full
+matches is a configurable constant.
+"""
+
+import random
+
+from repro.workloads import vocab
+
+
+class InexGenerator:
+    """Publication records with their abstracts in separate included files."""
+
+    def __init__(self, seed=0, match_count=10, collection_size=28_000):
+        self.seed = seed
+        self.match_count = match_count
+        self.collection_size = max(1, collection_size)
+        # deterministic choice of which documents are full matches
+        rng = random.Random("%s:matches" % (seed,))
+        population = list(range(self.collection_size))
+        self.matching_ids = set(
+            rng.sample(population, min(match_count, self.collection_size))
+        )
+
+    def abstract_uri(self, doc_seq):
+        return "inex:abstract:%d:%d" % (self.seed, doc_seq)
+
+    def abstract_text(self, doc_seq):
+        """The separate ~1 KB abstract file for document ``doc_seq``."""
+        rng = random.Random("%s:abstract:%s" % (self.seed, doc_seq))
+        words = [
+            vocab.zipf_choice(rng, vocab.ABSTRACT_WORDS) for _ in range(120)
+        ]
+        if doc_seq in self.matching_ids:
+            words[rng.randrange(len(words))] = "interface"
+        else:
+            # keep 'interface' reasonably frequent among non-matches too,
+            # but only where the title side will fail
+            if rng.random() < 0.15:
+                words[rng.randrange(len(words))] = "interface"
+        return "<abstract>%s</abstract>" % " ".join(words)
+
+    def _title(self, rng, doc_seq):
+        words = [vocab.zipf_choice(rng, vocab.TITLE_WORDS) for _ in range(6)]
+        if doc_seq in self.matching_ids:
+            words[0] = "system"
+        elif rng.random() < 0.20:
+            # frequent 'system' titles whose abstracts lack 'interface'
+            words[0] = "system"
+            return " ".join(words), True
+        return " ".join(words), doc_seq in self.matching_ids
+
+    def document(self, doc_seq):
+        """The publication record, with the abstract as an include."""
+        rng = random.Random("%s:doc:%s" % (self.seed, doc_seq))
+        title, has_system = self._title(rng, doc_seq)
+        if has_system and doc_seq not in self.matching_ids:
+            pass  # title matches, abstract will not: exercises completion
+        uri = self.abstract_uri(doc_seq)
+        author = "%s %s" % (
+            vocab.zipf_choice(rng, vocab.FIRST_NAMES),
+            vocab.zipf_choice(rng, vocab.LAST_NAMES),
+        )
+        return (
+            '<!DOCTYPE article [ <!ENTITY abs SYSTEM "%s"> ]>'
+            "<article>"
+            "<title>%s</title>"
+            "<author>%s</author>"
+            "<year>%d</year>"
+            "&abs;"
+            "</article>" % (uri, title, author, rng.randint(1990, 2006))
+        )
+
+    def register_abstracts(self, system, count):
+        """Register the first ``count`` abstract files as resolvable URIs."""
+        for i in range(count):
+            system.register_resource(self.abstract_uri(i), self.abstract_text(i))
+
+    def query(self):
+        return "//article[contains(.//title,'system') and contains(.//abstract,'interface')]"

@@ -1,0 +1,45 @@
+"""Query workloads.
+
+``traffic_workload`` builds the Section 4.3 traffic experiment: 50
+data-intensive queries, each involving at least one term with a long
+posting list (``author``, ``title``, ``inproceedings``, ...), submitted
+from 50 distinct nodes.
+"""
+
+import random
+
+from repro.workloads import vocab
+
+#: the long-posting-list terms of the DBLP-like corpus
+HEAVY_TERMS = ("author", "title", "inproceedings", "article", "year")
+
+_TEMPLATES = (
+    "//article//author",
+    "//inproceedings//title",
+    "//dblp//author",
+    "//article//title",
+    "//inproceedings//author",
+    "//article//year",
+    "//dblp//inproceedings//author",
+    "//article[//title]//author",
+    "//inproceedings[//year]//title",
+    "//dblp//article//journal",
+)
+
+
+def traffic_workload(count=50, seed=0, with_keywords=True):
+    """``count`` queries, each with at least one heavy term.
+
+    Returns ``[(query_text, keyword_steps)]``; some queries add a keyword
+    step (an author last name) to vary selectivity, as in a real mix."""
+    rng = random.Random("%s:traffic" % (seed,))
+    workload = []
+    for i in range(count):
+        template = _TEMPLATES[i % len(_TEMPLATES)]
+        keywords = ()
+        if with_keywords and rng.random() < 0.4:
+            name = vocab.zipf_choice(rng, vocab.LAST_NAMES)
+            template = template + "//" + name
+            keywords = (name,)
+        workload.append((template, keywords))
+    return workload

@@ -1,0 +1,62 @@
+"""Shared vocabulary pools for the synthetic generators.
+
+Author names and title words are drawn Zipf-like so posting-list sizes are
+as skewed as in real DBLP (a few very frequent terms, a long tail) — the
+skew is what makes the paper's experiments meaningful.
+"""
+
+FIRST_NAMES = [
+    "Jeffrey", "Serge", "Ioana", "Michael", "David", "Maria", "Wei",
+    "Anna", "Peter", "Rakesh", "Jennifer", "Hector", "Susan", "Carlo",
+    "Divesh", "Nick", "Laura", "Dan", "Sophie", "Victor", "Gerhard",
+    "Elisa", "Timos", "Yannis", "Moshe", "Ricardo", "Patricia", "Hans",
+]
+
+LAST_NAMES = [
+    "Smith", "Chen", "Garcia", "Mueller", "Johnson", "Wang", "Kumar",
+    "Silva", "Rossi", "Tanaka", "Brown", "Davis", "Martin", "Lopez",
+    "Gonzalez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore",
+    "Jackson", "White", "Harris", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill",
+    "Flores", "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera",
+]
+
+#: the rare author the paper's queries look for
+RARE_AUTHOR = "Ullman"
+
+TITLE_WORDS = [
+    "data", "query", "processing", "distributed", "systems", "model",
+    "efficient", "analysis", "optimization", "database", "parallel",
+    "algorithms", "management", "performance", "scalable", "indexing",
+    "xml", "semistructured", "networks", "storage", "transactions",
+    "streams", "mining", "learning", "graphs", "evaluation", "adaptive",
+    "semantic", "web", "services", "caching", "replication", "approximate",
+    "integration", "warehouse", "views", "joins", "patterns", "trees",
+    "language", "logic", "constraints", "schema", "compression", "hashing",
+    "secure", "privacy", "temporal", "spatial", "probabilistic", "ranking",
+]
+
+JOURNALS = [
+    "TODS", "VLDB Journal", "TKDE", "Information Systems", "SIGMOD Record",
+    "JACM", "Acta Informatica", "TCS", "IPL", "CACM",
+]
+
+CONFERENCES = [
+    "SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "ICDT", "CIKM", "WWW",
+    "KDD", "SODA",
+]
+
+ABSTRACT_WORDS = TITLE_WORDS + [
+    "we", "propose", "novel", "approach", "experiments", "show", "results",
+    "improve", "problem", "present", "study", "interface", "system",
+    "implementation", "framework", "techniques", "cost", "benchmark",
+]
+
+
+def zipf_choice(rng, pool, skew=1.1):
+    """Pick from ``pool`` with a Zipf-like bias toward early entries."""
+    n = len(pool)
+    # inverse-CDF sampling of a truncated zeta-ish distribution
+    u = rng.random()
+    index = int(n * (u ** (skew + 1.0)))
+    return pool[min(index, n - 1)]

@@ -1,0 +1,175 @@
+"""An XMark-style auction-site document generator.
+
+XMark is one of the Table 1 corpora; beyond the structural profile used
+there, this module generates documents with the actual XMark schema shape
+(site → regions/categories/people/open_auctions/closed_auctions) so tests
+and examples can run realistic multi-branch twig queries.  The ``scale``
+factor plays XMark's role: entity counts grow linearly with it.
+"""
+
+import random
+
+from repro.workloads import vocab
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_ITEM_WORDS = vocab.TITLE_WORDS + ["gold", "vintage", "rare", "bundle", "mint"]
+
+
+class XMarkGenerator:
+    """Deterministic XMark-like site documents."""
+
+    def __init__(self, seed=0, scale=1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.seed = seed
+        self.scale = scale
+        self.num_items = max(2, int(20 * scale))
+        self.num_people = max(2, int(25 * scale))
+        self.num_categories = max(1, int(5 * scale))
+        self.num_open = max(1, int(12 * scale))
+        self.num_closed = max(1, int(8 * scale))
+
+    def _rng(self, *parts):
+        return random.Random("xmark:%s:%s" % (self.seed, ":".join(map(str, parts))))
+
+    # -- entities -----------------------------------------------------------
+
+    def _person(self, i):
+        rng = self._rng("person", i)
+        name = "%s %s" % (
+            vocab.zipf_choice(rng, vocab.FIRST_NAMES),
+            vocab.zipf_choice(rng, vocab.LAST_NAMES),
+        )
+        interests = "".join(
+            '<interest category="category%d"/>'
+            % rng.randrange(self.num_categories)
+            for _ in range(rng.randint(0, 3))
+        )
+        card = (
+            "<creditcard>%04d %04d</creditcard>" % (rng.randrange(10_000), rng.randrange(10_000))
+            if rng.random() < 0.5
+            else ""
+        )
+        return (
+            '<person id="person%d">'
+            "<name>%s</name>"
+            "<emailaddress>mailto:p%d@example.org</emailaddress>"
+            "<address><street>%d main</street><city>city%d</city>"
+            "<country>%s</country></address>"
+            "<profile><education>level%d</education>%s%s</profile>"
+            "</person>"
+        ) % (
+            i, name, i, rng.randrange(99), rng.randrange(30),
+            rng.choice(REGIONS), rng.randrange(4), interests, card,
+        )
+
+    def _item(self, i):
+        rng = self._rng("item", i)
+        words = [vocab.zipf_choice(rng, _ITEM_WORDS) for _ in range(8)]
+        return (
+            '<item id="item%d">'
+            "<name>%s</name>"
+            "<payment>creditcard</payment>"
+            "<description><text>%s</text></description>"
+            "<quantity>%d</quantity>"
+            "</item>"
+        ) % (i, " ".join(words[:3]), " ".join(words), rng.randint(1, 5))
+
+    def _open_auction(self, i):
+        rng = self._rng("open", i)
+        bidders = "".join(
+            "<bidder><date>%02d/%02d/2006</date>"
+            '<personref person="person%d"/>'
+            "<increase>%d</increase></bidder>"
+            % (
+                rng.randint(1, 12), rng.randint(1, 28),
+                rng.randrange(self.num_people), rng.randint(1, 50),
+            )
+            for _ in range(rng.randint(0, 4))
+        )
+        return (
+            '<open_auction id="open%d">'
+            "<initial>%d</initial>%s"
+            "<current>%d</current>"
+            '<itemref item="item%d"/>'
+            '<seller person="person%d"/>'
+            "<annotation><description><text>active auction</text></description></annotation>"
+            "</open_auction>"
+        ) % (
+            i, rng.randint(1, 100), bidders, rng.randint(100, 500),
+            rng.randrange(self.num_items), rng.randrange(self.num_people),
+        )
+
+    def _closed_auction(self, i):
+        rng = self._rng("closed", i)
+        return (
+            "<closed_auction>"
+            '<seller person="person%d"/>'
+            '<buyer person="person%d"/>'
+            '<itemref item="item%d"/>'
+            "<price>%d</price>"
+            "<date>%02d/%02d/2006</date>"
+            "<quantity>1</quantity>"
+            "</closed_auction>"
+        ) % (
+            rng.randrange(self.num_people),
+            rng.randrange(self.num_people),
+            rng.randrange(self.num_items),
+            rng.randint(10, 900),
+            rng.randint(1, 12),
+            rng.randint(1, 28),
+        )
+
+    # -- the document ---------------------------------------------------------
+
+    def document(self):
+        rng = self._rng("layout")
+        items = list(range(self.num_items))
+        rng.shuffle(items)
+        per_region = max(1, len(items) // len(REGIONS))
+        regions = []
+        for r, region in enumerate(REGIONS):
+            chunk = items[r * per_region : (r + 1) * per_region]
+            regions.append(
+                "<%s>%s</%s>"
+                % (region, "".join(self._item(i) for i in chunk), region)
+            )
+        categories = "".join(
+            '<category id="category%d"><name>cat %d</name>'
+            "<description><text>%s</text></description></category>"
+            % (c, c, vocab.zipf_choice(self._rng("cat", c), vocab.TITLE_WORDS))
+            for c in range(self.num_categories)
+        )
+        return (
+            "<site>"
+            "<regions>%s</regions>"
+            "<categories>%s</categories>"
+            "<people>%s</people>"
+            "<open_auctions>%s</open_auctions>"
+            "<closed_auctions>%s</closed_auctions>"
+            "</site>"
+        ) % (
+            "".join(regions),
+            categories,
+            "".join(self._person(i) for i in range(self.num_people)),
+            "".join(self._open_auction(i) for i in range(self.num_open)),
+            "".join(self._closed_auction(i) for i in range(self.num_closed)),
+        )
+
+
+#: tree-pattern translations of classic XMark query shapes
+XMARK_QUERIES = (
+    # Q1-ish: a person's profile data
+    ("//people//person//profile//education", ()),
+    # Q2-ish: initial bids of open auctions
+    ("//open_auctions//open_auction//initial", ()),
+    # Q5-ish: closed auctions above some activity (structural only)
+    ("//closed_auctions//closed_auction[//price]//itemref", ()),
+    # Q8-ish: buyers that are also sellers (two branches)
+    ("//closed_auction[//buyer]//seller", ()),
+    # Q14-ish: items whose description mentions gold
+    ('//item[contains(.//description, "gold")]//name', ()),
+    # bidder activity under open auctions
+    ("//open_auction[//bidder]//current", ()),
+)

@@ -1,0 +1,34 @@
+"""Word extraction and stop words.
+
+Words are indexed in the ``Term`` relation under their directly containing
+element (``Term(p, d, sid, w)``: "w is a word under element (p, d, sid)").
+Tokenization is deliberately simple — alphanumeric runs, case-folded — and a
+small stop-word list keeps pathological posting lists (``the``, ``of`` ...)
+out of the index, as any real deployment would.
+"""
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+STOP_WORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on or that the
+    to was were will with this which""".split()
+)
+
+
+def tokenize(text):
+    """All alphanumeric word tokens of ``text``, case-folded, in order."""
+    return [m.group(0).lower() for m in _WORD_RE.finditer(text)]
+
+
+def extract_words(text, drop_stop_words=True):
+    """The *set* of indexable words of a text fragment."""
+    words = set(tokenize(text))
+    if drop_stop_words:
+        words -= STOP_WORDS
+    return words
+
+
+def is_stop_word(word):
+    return word.lower() in STOP_WORDS

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.workloads.dblp import DblpGenerator
+
+
+@pytest.fixture
+def small_net():
+    """An 8-peer network with the default (improved-KadoP) configuration."""
+    return KadopNetwork.create(num_peers=8, config=KadopConfig(replication=1), seed=42)
+
+
+@pytest.fixture
+def dblp_net():
+    """A 10-peer network with ~8 small DBLP-like documents published."""
+    net = KadopNetwork.create(
+        num_peers=10, config=KadopConfig(replication=1), seed=7
+    )
+    gen = DblpGenerator(seed=11, target_doc_bytes=3000)
+    for i, doc in enumerate(gen.documents(8)):
+        net.peers[i % 5].publish(doc, uri="dblp:%d" % i)
+    return net
+
+
+@pytest.fixture
+def dblp_generator():
+    return DblpGenerator(seed=11, target_doc_bytes=3000)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running scale test")

@@ -1,0 +1,169 @@
+"""Tests for the block-based parallel twig join (Section 4.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.publisher import extract_postings
+from repro.kadop.execution import term_key_of
+from repro.postings.plist import PostingList
+from repro.query.block_join import (
+    Block,
+    BlockJoinResult,
+    meaningful_vectors,
+    parallel_block_join,
+)
+from repro.query.twigjoin import twig_join
+from repro.query.xpath import parse_query
+from repro.xmldata.parser import parse_document
+
+
+def B(lo, hi):
+    """An empty-content block with explicit (peer, doc) bounds."""
+    return Block(PostingList(), doc_lo=(0, lo), doc_hi=(0, hi))
+
+
+class TestMeaningfulVectors:
+    def test_disjoint_ranges_no_vectors(self):
+        vectors = list(meaningful_vectors([[B(0, 4)], [B(5, 9)]]))
+        assert vectors == []
+
+    def test_aligned_partitions_staircase(self):
+        lists = [
+            [B(0, 2), B(3, 5), B(6, 8)],
+            [B(0, 5), B(6, 8)],
+        ]
+        vectors = list(meaningful_vectors(lists))
+        assert vectors == [(0, 0), (1, 0), (2, 1)]
+        # the paper's bound
+        assert len(vectors) <= 3 + 2
+
+    def test_boundary_split_blocks_all_combos(self):
+        """Blocks split inside a document: every combo sharing the boundary
+        document must be enumerated or matches would be lost."""
+        lists = [
+            [B(0, 5), B(5, 9)],
+            [B(0, 5), B(5, 9)],
+        ]
+        vectors = set(meaningful_vectors(lists))
+        assert vectors == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_empty_list_yields_nothing(self):
+        assert list(meaningful_vectors([[B(0, 1)], []])) == []
+        assert list(meaningful_vectors([])) == []
+
+    def test_single_list(self):
+        assert list(meaningful_vectors([[B(0, 1), B(2, 3)]])) == [(0,), (1,)]
+
+    def test_bound_for_doc_aligned_partitions(self):
+        """Random doc-aligned partitions respect m1+...+mn."""
+        rng = random.Random(7)
+        for _ in range(50):
+            lists = []
+            for _ in range(rng.randint(1, 4)):
+                bounds = sorted(rng.sample(range(0, 100), rng.randint(2, 8)))
+                blocks = [
+                    B(lo + 1 if i else 0, hi)
+                    for i, (lo, hi) in enumerate(zip([-1] + bounds, bounds))
+                ]
+                lists.append(blocks)
+            vectors = list(meaningful_vectors(lists))
+            assert len(vectors) <= sum(len(l) for l in lists)
+
+    def test_block_bounds_from_postings(self):
+        from repro.postings.posting import Posting
+
+        block = Block(
+            PostingList([Posting(0, 2, 1, 2, 1), Posting(0, 5, 1, 2, 1)])
+        )
+        assert block.doc_lo == (0, 2)
+        assert block.doc_hi == (0, 5)
+
+    def test_empty_block_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Block(PostingList())
+
+    def test_intersects(self):
+        assert B(0, 5).intersects(B(5, 9))
+        assert not B(0, 4).intersects(B(5, 9))
+
+
+def _blocks_from_stream(stream, cuts, rng):
+    """Partition a posting list into blocks at random positions."""
+    items = stream.items()
+    if not items:
+        return []
+    positions = sorted(rng.sample(range(1, len(items)), min(cuts, len(items) - 1))) if len(items) > 1 else []
+    blocks = []
+    prev = 0
+    for pos in positions + [len(items)]:
+        chunk = PostingList(items[prev:pos], presorted=True)
+        if len(chunk):
+            blocks.append(Block(chunk))
+        prev = pos
+    return blocks
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_block_join_equals_merged_join(seed):
+    """Differential: per-vector joins == the join of the merged lists,
+    under random multi-document corpora and random block cuts (including
+    cuts inside documents)."""
+    rng = random.Random(seed)
+    docs = []
+    for d in range(rng.randint(1, 4)):
+        parts = []
+
+        def build(depth, budget):
+            label = rng.choice("ab")
+            parts.append("<%s>" % label)
+            for _ in range(0 if depth > 3 else rng.randint(0, 3)):
+                if budget[0] <= 0:
+                    break
+                budget[0] -= 1
+                build(depth + 1, budget)
+            parts.append("</%s>" % label)
+
+        build(0, [12])
+        docs.append(parse_document("".join(parts)))
+
+    pattern = parse_query(rng.choice(["//a//b", "//a/b", "//a//a", "//b//a//b"]))
+    streams = {node.node_id: PostingList() for node in pattern.nodes()}
+    for d, doc in enumerate(docs):
+        extracted = extract_postings(doc, 0, d)
+        for node in pattern.nodes():
+            key = term_key_of(node)
+            streams[node.node_id] = streams[node.node_id].merge(
+                PostingList(extracted.get(key, []))
+            )
+    if any(not len(s) for s in streams.values()):
+        return
+
+    blocks = {
+        nid: _blocks_from_stream(stream, rng.randint(0, 4), rng)
+        for nid, stream in streams.items()
+    }
+    result = parallel_block_join(pattern, blocks)
+    merged = twig_join(pattern, streams)
+    assert [tuple(sorted(s.items())) for s in result.solutions] == [
+        tuple(sorted(s.items())) for s in merged
+    ]
+    assert isinstance(result, BlockJoinResult)
+    assert result.vectors_bound == sum(len(b) for b in blocks.values())
+
+
+class TestExecutorIntegration:
+    def test_block_vectors_reported(self):
+        from repro.kadop.config import KadopConfig
+        from repro.kadop.system import KadopNetwork
+
+        config = KadopConfig(use_dpp=True, dpp_block_entries=15, replication=1)
+        net = KadopNetwork.create(num_peers=8, config=config, seed=2)
+        for d in range(4):
+            body = "".join("<x>w%d</x>" % i for i in range(12))
+            net.peers[0].publish("<r>%s</r>" % body, uri="u:%d" % d)
+        _, report = net.query_with_report("//r//x")
+        assert report.block_vectors >= 1
+        assert report.block_vectors <= report.blocks_fetched + 4

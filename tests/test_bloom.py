@@ -1,0 +1,334 @@
+"""Tests for dyadic decomposition, Bloom filters, and structural filters."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom.analysis import (
+    ab_fp_bound,
+    basic_fp_rate,
+    empirical_fp_rate,
+    is_balanced,
+    level_effect,
+)
+from repro.bloom.dyadic import (
+    dyadic_containers,
+    dyadic_cover,
+    interval_level,
+    level_for,
+    point_chain,
+)
+from repro.bloom.filter import BloomFilter, optimal_params
+from repro.bloom.structural import (
+    AncestorBloomFilter,
+    DescendantBloomFilter,
+    psi,
+)
+from repro.index.publisher import extract_postings
+from repro.postings.plist import PostingList
+from repro.postings.posting import Posting
+from repro.xmldata.parser import parse_document
+
+
+class TestDyadic:
+    def test_paper_example_cover(self):
+        # D[1,7] = {[1,4],[5,6],[7,7]} (Section 5, running example)
+        assert dyadic_cover(1, 7, 3) == [(1, 4), (5, 6), (7, 7)]
+
+    def test_paper_example_containers(self):
+        # Dc[3,4] = {[3,4],[1,4],[1,8]}
+        assert dyadic_containers(3, 4, 3) == [(3, 4), (1, 4), (1, 8)]
+
+    def test_full_interval(self):
+        assert dyadic_cover(1, 8, 3) == [(1, 8)]
+
+    def test_single_point(self):
+        assert dyadic_cover(5, 5, 3) == [(5, 5)]
+        assert point_chain(5, 3) == [(5, 5), (5, 6), (5, 8), (1, 8)]
+
+    def test_point_chain_length(self):
+        for x in (1, 4, 7, 8):
+            assert len(point_chain(x, 3)) == 4  # l + 1
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            dyadic_cover(0, 3, 3)
+        with pytest.raises(ValueError):
+            dyadic_cover(3, 9, 3)
+        with pytest.raises(ValueError):
+            dyadic_containers(2, 1, 3)
+
+    def test_level_for(self):
+        assert level_for(1) == 0
+        assert level_for(2) == 1
+        assert level_for(9) == 4
+        with pytest.raises(ValueError):
+            level_for(0)
+
+    def test_interval_level(self):
+        assert interval_level((1, 8)) == 3
+        assert interval_level((5, 6)) == 1
+        with pytest.raises(ValueError):
+            interval_level((2, 3))  # not aligned
+        with pytest.raises(ValueError):
+            interval_level((1, 3))  # not a power of two
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_cover_properties(self, data):
+        l = data.draw(st.integers(min_value=1, max_value=12))
+        x = data.draw(st.integers(min_value=1, max_value=1 << l))
+        y = data.draw(st.integers(min_value=x, max_value=1 << l))
+        cover = dyadic_cover(x, y, l)
+        # disjoint, contiguous, covering exactly [x, y]
+        assert cover[0][0] == x and cover[-1][1] == y
+        for (alo, ahi), (blo, bhi) in zip(cover, cover[1:]):
+            assert ahi + 1 == blo
+        # all dyadic, at most 2l of them
+        for interval in cover:
+            interval_level(interval)
+        assert len(cover) <= max(1, 2 * l)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_containers_properties(self, data):
+        l = data.draw(st.integers(min_value=1, max_value=12))
+        x = data.draw(st.integers(min_value=1, max_value=1 << l))
+        y = data.draw(st.integers(min_value=x, max_value=1 << l))
+        containers = dyadic_containers(x, y, l)
+        assert containers, "top interval always contains"
+        assert containers[-1] == (1, 1 << l)
+        for lo, hi in containers:
+            assert lo <= x and y <= hi
+            interval_level(interval := (lo, hi))
+        # one candidate per level at most
+        levels = [interval_level(i) for i in containers]
+        assert len(set(levels)) == len(levels)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_cover_container_duality(self, data):
+        """Theorem 1's geometric core: [x,y] ⊆ [a,b] iff every piece of
+        D[x,y] has a container inside D[a,b]."""
+        l = data.draw(st.integers(min_value=1, max_value=9))
+        a = data.draw(st.integers(min_value=1, max_value=1 << l))
+        b = data.draw(st.integers(min_value=a, max_value=1 << l))
+        x = data.draw(st.integers(min_value=1, max_value=1 << l))
+        y = data.draw(st.integers(min_value=x, max_value=1 << l))
+        outer = set(dyadic_cover(a, b, l))
+        covered = all(
+            any(c in outer for c in dyadic_containers(lo, hi, l))
+            for lo, hi in dyadic_cover(x, y, l)
+        )
+        assert covered == (a <= x and y <= b)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        f = BloomFilter.for_items(100, 0.01)
+        items = [("k", i, i * 2) for i in range(100)]
+        for item in items:
+            f.insert(item)
+        assert all(item in f for item in items)
+
+    def test_fp_rate_approximates_target(self):
+        rng = random.Random(1)
+        f = BloomFilter.for_items(2000, 0.05)
+        inserted = {("in", rng.randrange(10**9)) for _ in range(2000)}
+        for item in inserted:
+            f.insert(item)
+        probes = [("out", rng.randrange(10**9)) for _ in range(4000)]
+        fp = sum(1 for p in probes if p in f) / len(probes)
+        assert fp < 0.12  # 5% target with slack
+
+    def test_deterministic(self):
+        a, b = BloomFilter(256, 3, seed=9), BloomFilter(256, 3, seed=9)
+        a.insert(("x", 1))
+        b.insert(("x", 1))
+        assert a._vector == b._vector
+
+    def test_seed_independence(self):
+        a, b = BloomFilter(256, 3, seed=1), BloomFilter(256, 3, seed=2)
+        a.insert(("x", 1))
+        b.insert(("x", 1))
+        assert a._vector != b._vector
+
+    def test_optimal_params(self):
+        m, k = optimal_params(1000, 0.01)
+        assert m >= 9000  # ~9.6 bits/item
+        assert 5 <= k <= 9
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            optimal_params(10, 1.5)
+        with pytest.raises(ValueError):
+            BloomFilter(100, 0)
+
+    def test_size_bytes(self):
+        f = BloomFilter(1024, 3)
+        assert f.size_bytes == 1024 // 8 + 16
+
+    def test_unhashable_type_rejected(self):
+        f = BloomFilter(64, 2)
+        with pytest.raises(TypeError):
+            f.insert((1.5,))
+
+    def test_expected_fp_rate(self):
+        f = BloomFilter(1024, 4)
+        assert f.expected_fp_rate() == 0.0
+        for i in range(100):
+            f.insert(("i", i))
+        assert 0 < f.expected_fp_rate() < 1
+
+
+class TestPsiAnalysis:
+    def test_psi_values(self):
+        assert psi(0, 4) == 1
+        assert psi(4, 4) == 2
+        assert psi(8, 4) == 3
+
+    def test_ab_bound_monotone_in_fp(self):
+        assert ab_fp_bound(0.01, 20, 4) < ab_fp_bound(0.2, 20, 4) < 1
+
+    def test_basic_fp_rate(self):
+        assert basic_fp_rate(1000, 3, 0) == 0.0
+        assert 0 < basic_fp_rate(1000, 3, 100) < 1
+
+    def test_balancing_property(self):
+        # fp < 1/2^c=1/16: every level's expected effect bounded by 1/16
+        assert is_balanced(0.05, 30, 4)
+        assert not is_balanced(0.2, 30, 4)
+
+    def test_level_effect(self):
+        assert level_effect(0.05, 0, 4) == pytest.approx(0.05)
+
+    def test_empirical_fp_rate(self):
+        assert empirical_fp_rate(filtered=30, truly_matching=10, total=110) == 0.2
+        assert empirical_fp_rate(filtered=10, truly_matching=10, total=10) == 0.0
+
+
+def _doc_filters_fixture():
+    doc = parse_document(
+        "<r>"
+        "<a><b>w1</b><c/></a>"
+        "<a><c><b>w2</b></c></a>"
+        "<d><b>w3</b></d>"
+        "<a/>"
+        "</r>"
+    )
+    extracted = extract_postings(doc, 0, 0)
+    la = PostingList(extracted["elem:a"])
+    lb = PostingList(extracted["elem:b"])
+    return doc, la, lb
+
+
+class TestStructuralFilters:
+    def test_abf_keeps_all_true_descendants(self):
+        _, la, lb = _doc_filters_fixture()
+        abf = AncestorBloomFilter(la, fp_rate=0.05)
+        kept = abf.filter_postings(lb)
+        true_matches = [
+            b for b in lb if any(a.is_ancestor_of(b) for a in la)
+        ]
+        for b in true_matches:
+            assert b in kept
+
+    def test_abf_rejects_unrelated(self):
+        _, la, lb = _doc_filters_fixture()
+        abf = AncestorBloomFilter(la, fp_rate=0.001)
+        kept = abf.filter_postings(lb)
+        # the b under d has no a ancestor; with fp 0.1% it must be dropped
+        d_b = [b for b in lb if not any(a.is_ancestor_of(b) for a in la)]
+        assert d_b, "fixture must contain a non-matching b"
+        assert all(b not in kept for b in d_b) or len(kept) < len(lb)
+
+    def test_abf_point_probe_agrees_on_matches(self):
+        _, la, lb = _doc_filters_fixture()
+        abf = AncestorBloomFilter(la, fp_rate=0.05)
+        full = abf.filter_postings(lb)
+        point = abf.filter_postings(lb, point_probe=True)
+        for b in lb:
+            if any(a.is_ancestor_of(b) for a in la):
+                assert b in full and b in point
+
+    def test_dbf_keeps_all_true_ancestors(self):
+        _, la, lb = _doc_filters_fixture()
+        dbf = DescendantBloomFilter(lb, fp_rate=0.05)
+        kept = dbf.filter_postings(la)
+        for a in la:
+            if any(a.is_ancestor_of(b) for b in lb):
+                assert a in kept
+
+    def test_dbf_drops_childless(self):
+        _, la, lb = _doc_filters_fixture()
+        dbf = DescendantBloomFilter(lb, fp_rate=0.001)
+        childless = [a for a in la if not any(a.is_ancestor_of(b) for b in lb)]
+        assert childless
+        kept = dbf.filter_postings(la)
+        assert len(kept) < len(la)
+
+    def test_dbf_or_self(self):
+        plist = PostingList([Posting(0, 0, 2, 3, 1)])
+        dbf = DescendantBloomFilter(plist, fp_rate=0.01)
+        # strict: an element is not its own descendant
+        assert not dbf.may_have_descendant(Posting(0, 0, 2, 3, 1))
+        assert dbf.may_have_descendant(Posting(0, 0, 2, 3, 1), or_self=True)
+
+    def test_abf_self_passes(self):
+        # AB filters are inherently or-self (word-predicate semantics)
+        plist = PostingList([Posting(0, 0, 2, 5, 1)])
+        abf = AncestorBloomFilter(plist, fp_rate=0.01)
+        assert abf.may_have_ancestor(Posting(0, 0, 2, 5, 1))
+
+    def test_filters_respect_documents(self):
+        la = PostingList([Posting(0, 0, 1, 10, 0)])
+        lb_other_doc = PostingList([Posting(0, 1, 2, 3, 1)])
+        abf = AncestorBloomFilter(la, fp_rate=0.001)
+        assert len(abf.filter_postings(lb_other_doc)) == 0
+
+    def test_sizes_smaller_than_lists(self):
+        doc = parse_document(
+            "<r>%s</r>" % "".join("<a><b>t</b></a>" for _ in range(300))
+        )
+        extracted = extract_postings(doc, 0, 0)
+        la = PostingList(extracted["elem:a"])
+        from repro.postings.encoder import encoded_size
+
+        abf = AncestorBloomFilter(la, fp_rate=0.2)
+        assert abf.size_bytes < encoded_size(la) * 2  # compact vs raw
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_one_sidedness_random(self, seed):
+        """Neither filter ever drops a posting that truly joins."""
+        rng = random.Random(seed)
+        parts = []
+
+        def build(depth, budget):
+            label = rng.choice("abc")
+            parts.append("<%s>" % label)
+            for _ in range(0 if depth > 3 else rng.randint(0, 3)):
+                if budget[0] <= 0:
+                    break
+                budget[0] -= 1
+                build(depth + 1, budget)
+            parts.append("</%s>" % label)
+
+        build(0, [20])
+        doc = parse_document("".join(parts))
+        extracted = extract_postings(doc, 0, 0)
+        la = PostingList(extracted.get("elem:a", []))
+        lb = PostingList(extracted.get("elem:b", []))
+        if not la or not lb:
+            return
+        abf = AncestorBloomFilter(la, fp_rate=0.1)
+        kept_b = abf.filter_postings(lb)
+        for b in lb:
+            if any(a.is_ancestor_of(b) for a in la):
+                assert b in kept_b
+        dbf = DescendantBloomFilter(lb, fp_rate=0.1)
+        kept_a = dbf.filter_postings(la)
+        for a in la:
+            if any(a.is_ancestor_of(b) for b in lb):
+                assert a in kept_a

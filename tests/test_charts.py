@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import (
+    chart_fig2,
+    chart_fig3,
+    chart_fig9,
+    chart_traffic,
+    line_chart,
+)
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart({"a": [(0, 0), (10, 5)]}, width=20, height=8)
+        lines = chart.splitlines()
+        assert any("o" in line for line in lines)
+        assert "  o a" in chart
+
+    def test_two_series_distinct_markers(self):
+        chart = line_chart(
+            {"up": [(0, 0), (10, 10)], "down": [(0, 10), (10, 0)]},
+            width=20,
+            height=8,
+        )
+        assert "o" in chart and "x" in chart
+        assert "  o up" in chart and "  x down" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart({"a": [(0, 1), (5, 2)]}, x_label="MB", y_label="s")
+        assert "x: MB" in chart and "y: s" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_constant_series(self):
+        chart = line_chart({"flat": [(0, 3), (10, 3)]}, width=12, height=4)
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"dot": [(1, 1)]})
+        assert "dot" in chart
+
+    def test_y_range_includes_zero(self):
+        chart = line_chart({"a": [(0, 5), (10, 9)]}, height=6)
+        assert chart.splitlines()[5].lstrip().startswith("0")
+
+
+class TestFigureAdapters:
+    def test_fig2(self):
+        results = {"s1": [(1_000_000, 1.0), (2_000_000, 2.0)]}
+        assert "published MB" in chart_fig2(results)
+
+    def test_fig3(self):
+        results = {"with DPP": [(1_000_000, 0.5, 3), (2_000_000, 0.8, 4)]}
+        assert "indexed MB" in chart_fig3(results)
+
+    def test_fig9(self):
+        results = {"Inlining": [(10, 0.1), (20, 0.1)]}
+        assert "documents" in chart_fig9(results)
+
+    def test_traffic(self):
+        assert "traffic MB" in chart_traffic([(1_000_000, 400_000)])
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "dpporder", "--chart"]) == 0  # no renderer: ok

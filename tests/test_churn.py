@@ -1,0 +1,113 @@
+"""Churn scenario: interleaved publishes, joins, leaves, and queries.
+
+The paper targets applications where "peer volatility is not very high" and
+relies on DHT replication to protect index entries against some peer
+failure.  This scenario drives a network through a realistic session —
+documents published over time, peers joining, an index peer failing — and
+checks that queries stay correct throughout (modulo documents whose only
+holder died, which are reported via the incomplete flag)."""
+
+import random
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.query.matcher import match_document, match_to_postings
+
+
+class TestChurnScenario:
+    def test_long_session(self):
+        rng = random.Random(99)
+        net = KadopNetwork.create(
+            num_peers=8, config=KadopConfig(replication=3), seed=17
+        )
+        published = {}  # (peer_idx, doc_idx) -> xml text
+
+        def publish(peer_idx, text):
+            peer = net.peers[peer_idx]
+            receipt = peer.publish(text, uri="u:%d" % len(published))
+            doc_idx = max(peer.documents)
+            published[(peer_idx, doc_idx)] = text
+
+        def expected(query_text):
+            pattern = net.parse(query_text)
+            from repro.xmldata.parser import parse_document
+
+            result = set()
+            for (peer_idx, doc_idx), text in published.items():
+                if not net.peers[peer_idx].node.alive:
+                    continue
+                doc = parse_document(text)
+                for m in match_document(pattern, doc):
+                    result.add(
+                        tuple(
+                            sorted(
+                                match_to_postings(m, peer_idx, doc_idx).items()
+                            )
+                        )
+                    )
+            return result
+
+        def check(query_text):
+            src = next(p for p in net.peers if p.node.alive)
+            answers, report = net.query_with_report(query_text, peer=src)
+            got = {a.bindings for a in answers}
+            assert got == expected(query_text), query_text
+
+        # phase 1: initial content on the first three peers
+        for i in range(6):
+            label = rng.choice("st")
+            publish(i % 3, "<log><%s>entry %d</%s></log>" % (label, i, label))
+        check("//log//s")
+        check("//log//t")
+
+        # phase 2: two peers join; previously published data must survive
+        net.add_peer("kadop://join/1")
+        net.add_peer("kadop://join/2")
+        check("//log//s")
+
+        # phase 3: the new peers publish too
+        publish(8, "<log><s>from joiner</s></log>")
+        publish(9, "<log><t>late entry</t></log>")
+        check("//log//s")
+        check("//log//t")
+
+        # phase 4: kill a non-document index peer; replication covers it
+        doc_peers = {p for p, _ in published}
+        victim = next(
+            p for p in net.peers if p.index not in doc_peers and p.node.alive
+        )
+        net.net.remove_node(victim.node)
+        check("//log//s")
+        check("//log//t")
+
+        # phase 5: a document-holding peer dies: its answers disappear and
+        # the report flags incompleteness
+        doc_victim = net.peers[sorted(doc_peers)[0]]
+        net.net.remove_node(doc_victim.node)
+        answers, report = net.query_with_report("//log//s", peer=net.peers[1])
+        got = {a.bindings for a in answers}
+        assert got == expected("//log//s")  # expected() skips dead peers
+        # incompleteness is reported iff the dead peer held candidates
+        held_s = any(
+            p == doc_victim.index and "<s>" in text
+            for (p, _), text in published.items()
+        )
+        assert report.complete != held_s
+
+        # phase 6: life goes on — publish and query again
+        publish(1, "<log><s>after the failure</s></log>")
+        check("//log//s")
+
+    def test_repeated_join_leave_cycles(self):
+        net = KadopNetwork.create(
+            num_peers=6, config=KadopConfig(replication=3), seed=23
+        )
+        net.peers[0].publish("<a><b>stable</b></a>", uri="u:0")
+        baseline = {a.bindings for a in net.query("//a//b")}
+        for cycle in range(3):
+            joined = net.add_peer("kadop://cycle/%d" % cycle)
+            assert {a.bindings for a in net.query("//a//b")} == baseline
+            net.net.remove_node(joined.node)
+            assert {a.bindings for a in net.query("//a//b")} == baseline

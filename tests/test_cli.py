@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _registry, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig3", "table1", "fig9"):
+            assert name in out
+
+    def test_registry_complete(self):
+        registry = _registry()
+        assert len(registry) == 12  # tables, figures, ablations, optimizer
+        for runner, formatter, checker, description in registry.values():
+            assert callable(runner) and callable(formatter)
+            assert description
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "1 answer" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+
+    def test_run_nothing(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_run_one(self, capsys):
+        assert main(["run", "dpporder"]) == 0
+        out = capsys.readouterr().out
+        assert "ordered" in out and "shape: OK" in out
+
+    def test_module_entry_point_exists(self):
+        import importlib.util
+
+        assert importlib.util.find_spec("repro.__main__") is not None

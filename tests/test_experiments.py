@@ -1,0 +1,191 @@
+"""Smoke tests for every experiment driver, at tiny scale.
+
+The full-scale shape assertions run in ``benchmarks/``; here each driver is
+exercised end-to-end quickly so a broken driver fails the unit suite, and
+cheap invariants (determinism, answer consistency) are verified.
+"""
+
+import pytest
+
+from repro.experiments import (
+    dpp_order_ablation,
+    fig2_indexing,
+    fig3_query,
+    fig7_reducers,
+    fig9_fundex,
+    filter_sensitivity,
+    pipeline_ablation,
+    posting_skew,
+    store_ablation,
+    table1_dyadic,
+    traffic,
+)
+
+
+class TestTable1:
+    def test_rows_and_encoding_options(self):
+        rows = table1_dyadic.run(scale=0.003)
+        assert [r["dataset"] for r in rows] == [
+            "IMDB", "XMark", "SwissProt", "NASA", "DBLP",
+        ]
+        for row in rows:
+            assert 1.0 <= row["avg_cover"] <= 3.0
+            assert row["two_l"] >= 32
+        tag_rows = table1_dyadic.run(scale=0.003, encoding="tagpair")
+        for compact, tag in zip(rows, tag_rows):
+            assert tag["avg_cover"] >= compact["avg_cover"]
+
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            table1_dyadic.measure_dataset("DBLP", encoding="nope")
+
+    def test_deterministic(self):
+        a = table1_dyadic.run(scale=0.002)
+        b = table1_dyadic.run(scale=0.002)
+        assert a == b
+
+    def test_format(self):
+        text = table1_dyadic.format_rows(table1_dyadic.run(scale=0.002))
+        assert "SwissProt" in text
+
+
+class TestFig2:
+    def test_single_series_runs(self):
+        series = fig2_indexing.SERIES[0]
+        points = fig2_indexing.run_series(
+            series, [30_000, 60_000], peer_scale=0.05
+        )
+        assert len(points) == 2
+        assert points[0][1] < points[1][1]
+
+    def test_format(self):
+        series = fig2_indexing.SERIES[0]
+        results = {series.label: fig2_indexing.run_series(series, [30_000], peer_scale=0.05)}
+        assert "published" in fig2_indexing.format_rows(results)
+
+
+class TestFig3:
+    def test_scaled_cost(self):
+        cost = fig3_query.scaled_cost(0.01)
+        assert cost.egress_bw < fig3_query.scaled_cost(1.0).egress_bw
+
+    def test_variant_runs(self):
+        points = fig3_query.run_variant(
+            False, [100_000], num_peers=8, publishers=2,
+            cost=fig3_query.scaled_cost(0.0001),
+        )
+        assert len(points) == 1
+        assert points[0][1] > 0
+
+
+class TestTraffic:
+    def test_runs_and_linear_enough(self):
+        points = traffic.run(
+            sizes_bytes=[40_000, 80_000], num_peers=10, num_queries=8
+        )
+        assert len(points) == 2
+        assert traffic.check_shape(points)
+
+    def test_format(self):
+        points = [(100_000, 50_000)]
+        assert "0.10" in traffic.format_rows(points)
+
+
+class TestPostingSkew:
+    def test_small_sample(self):
+        results = posting_skew.run(sample_bytes=100_000)
+        assert posting_skew.check_shape(results)
+
+    def test_format(self):
+        text = posting_skew.format_rows(posting_skew.run(sample_bytes=60_000))
+        assert "author" in text
+
+
+class TestFilterSensitivity:
+    def test_small_run(self):
+        rows = filter_sensitivity.run(fp_rates=(0.01, 0.2), docs=6)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 <= row["ab"] <= 1
+            assert 0 <= row["db"] <= 1
+
+    def test_ab_beats_single_trace(self):
+        rows = filter_sensitivity.run(fp_rates=(0.2,), docs=8)
+        assert rows[0]["ab"] <= rows[0]["ab_single_trace"] + 0.02
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig7_reducers.run(num_peers=10, docs=12, doc_bytes=8_000)
+
+    def test_panels_present(self, results):
+        assert set(results) == {"a", "b", "c"}
+        assert "subquery" in results["c"]
+        assert "subquery" not in results["a"]
+
+    def test_baseline_normalized_to_one(self, results):
+        for panel in results.values():
+            assert panel["baseline"]["total"] == 1.0
+
+    def test_answers_agree_across_strategies(self, results):
+        for panel in results.values():
+            counts = {v["answers"] for v in panel.values()}
+            assert len(counts) == 1
+
+    def test_format(self, results):
+        assert "panel" in fig7_reducers.format_rows(results)
+
+
+class TestFig9:
+    def test_tiny_run_ordering(self):
+        results = fig9_fundex.run(sizes=[12, 24], num_peers=6, matches=2)
+        assert fig9_fundex.check_shape(results)
+
+    def test_format(self):
+        results = {"Inlining": [(10, 0.5)]}
+        assert "Inlining" in fig9_fundex.format_rows(results)
+
+
+class TestStoreAblation:
+    def test_speedup_grows(self):
+        rows = store_ablation.run(list_sizes=(2_000, 8_000))
+        assert rows[0][3] < rows[1][3]
+        assert rows[1][3] > 10
+
+    def test_format(self):
+        text = store_ablation.format_rows(store_ablation.run(list_sizes=(1_000,)))
+        assert "speedup" in text
+
+
+class TestPipelineAblation:
+    def test_runs(self):
+        results = pipeline_ablation.run(docs=8, num_peers=6)
+        assert results["blocking"]["answers"] == results["pipelined"]["answers"]
+        assert (
+            results["pipelined"]["time_to_first"]
+            < results["blocking"]["time_to_first"]
+        )
+
+
+class TestDppOrderAblation:
+    def test_full_shape(self):
+        results = dpp_order_ablation.run(num_peers=10, docs=12)
+        assert dpp_order_ablation.check_shape(results)
+
+
+class TestSameSizeSweep:
+    def test_psi_wins_at_equal_size(self):
+        rows = filter_sensitivity.run_same_size(
+            budget_bits_per_posting=(8, 16), docs=8
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 <= row["psi"] <= 1
+            assert row["filter_bytes"] > 0
+
+    def test_format(self):
+        rows = filter_sensitivity.run_same_size(
+            budget_bits_per_posting=(8,), docs=6
+        )
+        assert "single-trace" in filter_sensitivity.format_same_size(rows)

@@ -1,0 +1,259 @@
+"""Tests for the Fundex (Section 6): intensional data handling."""
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.workloads.inex import InexGenerator
+
+
+def build_net(inline=False, seed=2, collection=24, matches=3):
+    net = KadopNetwork.create(
+        num_peers=8, config=KadopConfig(replication=1), seed=seed
+    )
+    gen = InexGenerator(seed=5, match_count=matches, collection_size=collection)
+    gen.register_abstracts(net, collection)
+    for i in range(collection):
+        net.peers[i % 4].publish(gen.document(i), uri="inex:%d" % i, inline=inline)
+    return net, gen
+
+
+@pytest.fixture(scope="module")
+def fundex_net():
+    return build_net(inline=False)
+
+
+@pytest.fixture(scope="module")
+def inline_net():
+    return build_net(inline=True)
+
+
+class TestRegistration:
+    def test_functional_docs_materialized_once(self, fundex_net):
+        net, gen = fundex_net
+        assert net.fundex.functional_count == 24
+
+    def test_intensional_docs_tracked(self, fundex_net):
+        net, _ = fundex_net
+        assert len(net.fundex.intensional_docs()) == 24
+
+    def test_rev_relation_populated(self, fundex_net):
+        net, _ = fundex_net
+        from repro.fundex.index import rev_key
+
+        fdoc = next(iter(net.fundex._functional.values()))
+        plist, _ = net.net.get(net.peers[0].node, rev_key(*fdoc.fid))
+        assert len(plist) == 1  # each abstract referenced by one article
+
+    def test_functional_docs_indexed_in_term_relation(self, fundex_net):
+        net, _ = fundex_net
+        from repro.fundex.index import FUNCTIONAL_DOC_BASE
+        from repro.postings.term_relation import label_key
+
+        plist, _ = net.net.get(net.peers[0].node, label_key("abstract"))
+        assert any(p.doc >= FUNCTIONAL_DOC_BASE for p in plist)
+
+    def test_unresolvable_include_raises(self):
+        from repro.errors import EntityResolutionError
+
+        net = KadopNetwork.create(
+            num_peers=4, config=KadopConfig(replication=1), seed=9
+        )
+        doc = (
+            '<!DOCTYPE a [ <!ENTITY x SYSTEM "u:none"> ]><a>&x;</a>'
+        )
+        with pytest.raises(EntityResolutionError):
+            net.peers[0].publish(doc, uri="u:a")
+
+
+class TestQueryModes:
+    def test_fundex_matches_inlining(self, fundex_net, inline_net):
+        """The paper's recall guarantee: Fundex answers = inlined answers
+        at the document level."""
+        net, gen = fundex_net
+        inet, _ = inline_net
+        pattern = net.parse(gen.query())
+        fundex_answers, _ = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        inline_answers = inet.query(gen.query())
+        assert {a.doc_id for a in fundex_answers} == {
+            a.doc_id for a in inline_answers
+        }
+
+    def test_representative_same_answers_fewer_evaluations(self, fundex_net):
+        net, gen = fundex_net
+        pattern = net.parse(gen.query())
+        full, rep_full = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        pruned, rep_pruned = net.fundex.query(
+            pattern, net.peers[0], mode="representative"
+        )
+        assert {a.doc_id for a in full} == {a.doc_id for a in pruned}
+        assert rep_pruned.functional_docs_pruned > 0
+        assert (
+            rep_pruned.functional_docs_evaluated
+            < rep_full.functional_docs_evaluated
+        )
+
+    def test_naive_is_incomplete(self, fundex_net):
+        net, gen = fundex_net
+        pattern = net.parse(gen.query())
+        naive, report = net.fundex.query(pattern, net.peers[0], mode="naive")
+        fundex, _ = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        assert len(naive) < len(fundex)
+        assert report.mode == "naive"
+
+    def test_brutal_is_imprecise(self, fundex_net):
+        net, gen = fundex_net
+        pattern = net.parse(gen.query())
+        _, brutal = net.fundex.query(pattern, net.peers[0], mode="brutal")
+        _, fundex = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        # brutal contacts every intensional document
+        assert brutal.candidate_docs >= 24
+
+    def test_unknown_mode_rejected(self, fundex_net):
+        net, gen = fundex_net
+        with pytest.raises(ValueError):
+            net.fundex.query(net.parse(gen.query()), net.peers[0], mode="x")
+
+    def test_fundex_response_slower_than_inline(self, fundex_net, inline_net):
+        """Figure 9 ordering: inlining beats fundex at query time."""
+        net, gen = fundex_net
+        inet, _ = inline_net
+        pattern = net.parse(gen.query())
+        _, freport = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        _, ireport = inet.query_with_report(gen.query())
+        assert freport.response_time_s > ireport.response_time_s
+
+    def test_representative_faster_than_fundex(self, fundex_net):
+        net, gen = fundex_net
+        pattern = net.parse(gen.query())
+        _, simple = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        _, rep = net.fundex.query(pattern, net.peers[0], mode="representative")
+        assert rep.response_time_s <= simple.response_time_s
+
+    def test_functional_docs_not_regular_answers(self, fundex_net):
+        net, _ = fundex_net
+        from repro.fundex.index import FUNCTIONAL_DOC_BASE
+
+        answers = net.query("//abstract")
+        assert all(a.doc < FUNCTIONAL_DOC_BASE for a in answers)
+
+    def test_potential_answers_counted(self, fundex_net):
+        net, gen = fundex_net
+        pattern = net.parse(gen.query())
+        _, report = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        assert report.potential_answers >= report.completed_answers - 0
+
+
+class TestRepresentativeSkeleton:
+    def test_skeleton_labels(self):
+        from repro.fundex.representative import skeleton_labels
+        from repro.xmldata.parser import parse_document
+
+        doc = parse_document("<a><b><c/></b><b/></a>")
+        assert skeleton_labels(doc) == {("a",), ("a", "b"), ("a", "b", "c")}
+
+    def test_skeleton_matches_label_paths(self):
+        from repro.fundex.representative import skeleton_labels, skeleton_matches
+        from repro.query.xpath import parse_query
+        from repro.xmldata.parser import parse_document
+
+        doc = parse_document("<abstract><p>text</p></abstract>")
+        skel = skeleton_labels(doc)
+        ok = parse_query("//abstract")
+        assert skeleton_matches(ok.root, skel)
+        nope = parse_query("//title")
+        assert not skeleton_matches(nope.root, skel)
+
+    def test_skeleton_ignores_words(self):
+        from repro.fundex.representative import skeleton_labels, skeleton_matches
+        from repro.query.xpath import parse_query
+        from repro.xmldata.parser import parse_document
+
+        doc = parse_document("<abstract>anything</abstract>")
+        skel = skeleton_labels(doc)
+        q = parse_query('//abstract[. contains "missingword"]')
+        # value conditions are ignored: representative indexing is complete
+        assert skeleton_matches(q.root, skel)
+
+    def test_skeleton_child_axis(self):
+        from repro.fundex.representative import skeleton_labels, skeleton_matches
+        from repro.query.xpath import parse_query
+        from repro.xmldata.parser import parse_document
+
+        doc = parse_document("<a><b><c/></b></a>")
+        skel = skeleton_labels(doc)
+        assert skeleton_matches(parse_query("//a/b/c").root, skel)
+        assert not skeleton_matches(parse_query("//a/c").root, skel)
+        assert skeleton_matches(parse_query("//a//c").root, skel)
+
+
+class TestFundexDepth:
+    """Edge cases: shared includes, multiple includes, nested includes."""
+
+    def test_shared_include_materialized_once(self):
+        net = KadopNetwork.create(num_peers=6, config=KadopConfig(replication=1))
+        net.register_resource("u:shared", "<abstract>common words</abstract>")
+        doc = (
+            '<!DOCTYPE article [ <!ENTITY a SYSTEM "u:shared"> ]>'
+            "<article><title>t%d</title>&a;</article>"
+        )
+        for i in range(4):
+            net.peers[i % 2].publish(doc % i, uri="u:%d" % i)
+        assert net.fundex.functional_count == 1  # one function call, one fid
+
+    def test_shared_include_rev_has_all_occurrences(self):
+        net = KadopNetwork.create(num_peers=6, config=KadopConfig(replication=1))
+        net.register_resource("u:shared", "<abstract>magic token</abstract>")
+        doc = (
+            '<!DOCTYPE article [ <!ENTITY a SYSTEM "u:shared"> ]>'
+            "<article><title>t%d</title>&a;</article>"
+        )
+        for i in range(3):
+            net.peers[0].publish(doc % i, uri="u:%d" % i)
+        from repro.fundex.index import rev_key
+
+        fdoc = next(iter(net.fundex._functional.values()))
+        plist, _ = net.net.get(net.peers[0].node, rev_key(*fdoc.fid))
+        assert len(plist) == 3  # one occurrence per publishing document
+        pattern = net.parse('//article[contains(.//abstract, "magic")]')
+        answers, _ = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        assert {a.doc_id for a in answers} == {(0, 0), (0, 1), (0, 2)}
+
+    def test_multiple_includes_per_document(self):
+        net = KadopNetwork.create(num_peers=6, config=KadopConfig(replication=1))
+        net.register_resource("u:abs", "<abstract>alpha</abstract>")
+        net.register_resource("u:body", "<body>beta</body>")
+        net.peers[0].publish(
+            '<!DOCTYPE article [ <!ENTITY a SYSTEM "u:abs">'
+            ' <!ENTITY b SYSTEM "u:body"> ]>'
+            "<article><title>t</title>&a;&b;</article>",
+            uri="u:doc",
+        )
+        assert net.fundex.functional_count == 2
+        pattern = net.parse(
+            '//article[contains(.//abstract,"alpha")]'
+            '[contains(.//body,"beta")]'
+        )
+        answers, report = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        assert len(answers) == 1
+        # both sub-patterns had to be completed intensionally
+        assert report.potential_answers == 1
+
+    def test_mixed_extensional_and_intensional_matches(self):
+        net = KadopNetwork.create(num_peers=6, config=KadopConfig(replication=1))
+        net.register_resource("u:abs", "<abstract>hidden gem</abstract>")
+        net.peers[0].publish(
+            "<article><title>x</title><abstract>hidden gem</abstract></article>",
+            uri="u:ext",
+        )
+        net.peers[0].publish(
+            '<!DOCTYPE article [ <!ENTITY a SYSTEM "u:abs"> ]>'
+            "<article><title>y</title>&a;</article>",
+            uri="u:int",
+        )
+        pattern = net.parse('//article[contains(.//abstract, "gem")]')
+        answers, _ = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        assert {a.doc_id for a in answers} == {(0, 0), (0, 1)}
+        # naive only finds the extensional one
+        naive, _ = net.fundex.query(pattern, net.peers[0], mode="naive")
+        assert {a.doc_id for a in naive} == {(0, 0)}

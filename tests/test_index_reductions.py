@@ -1,0 +1,188 @@
+"""Tests for the Section 8 index-size reductions and value conditions.
+
+Covers document-granularity (coarse) indexing, selective word indexing,
+and the ``[. = "s"]`` value-equality predicates added on top of the core
+system.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.index.publisher import extract_postings
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.postings.term_relation import label_key, word_key
+from repro.xmldata.parser import parse_document
+
+DOC = (
+    "<report>"
+    "<abstract>novel indexing scheme</abstract>"
+    "<body>indexing details and proofs</body>"
+    "</report>"
+)
+
+
+class TestCoarseExtraction:
+    def test_document_granularity_one_posting_per_term(self):
+        doc = parse_document("<a><b/><b/><b/></a>")
+        coarse = extract_postings(doc, 0, 0, granularity="document")
+        assert len(coarse[label_key("b")]) == 1
+        (posting,) = coarse[label_key("b")]
+        assert (posting.start, posting.end) == (doc.root.sid.start, doc.root.sid.end)
+
+    def test_element_granularity_default(self):
+        doc = parse_document("<a><b/><b/></a>")
+        fine = extract_postings(doc, 0, 0)
+        assert len(fine[label_key("b")]) == 2
+
+    def test_bad_granularity_rejected(self):
+        doc = parse_document("<a/>")
+        with pytest.raises(ValueError):
+            extract_postings(doc, 0, 0, granularity="nope")
+
+    def test_word_labels_restrict_word_postings(self):
+        doc = parse_document(DOC)
+        restricted = extract_postings(doc, 0, 0, word_labels=frozenset({"abstract"}))
+        assert word_key("novel") in restricted
+        assert word_key("proofs") not in restricted
+        # 'indexing' occurs in both; only the abstract occurrence remains
+        assert len(restricted[word_key("indexing")]) == 1
+
+    def test_labels_always_indexed(self):
+        doc = parse_document(DOC)
+        restricted = extract_postings(doc, 0, 0, word_labels=frozenset())
+        assert label_key("body") in restricted
+        assert not any(k.startswith("word:") for k in restricted)
+
+
+class TestCoarseIndexEndToEnd:
+    def _pair(self):
+        fine = KadopNetwork.create(
+            num_peers=6, config=KadopConfig(replication=1), seed=2
+        )
+        coarse = KadopNetwork.create(
+            num_peers=6,
+            config=KadopConfig(replication=1, index_granularity="document"),
+            seed=2,
+        )
+        docs = [
+            "<lib><book><title>xml data</title></book></lib>",
+            "<lib><book><note>xml</note></book><title>other</title></lib>",
+            "<lib><journal><title>graphs</title></journal></lib>",
+        ]
+        for i, text in enumerate(docs):
+            fine.peers[i % 3].publish(text, uri="u:%d" % i)
+            coarse.peers[i % 3].publish(text, uri="u:%d" % i)
+        return fine, coarse
+
+    def test_same_answers(self):
+        fine, coarse = self._pair()
+        for query, kw in (
+            ("//book//title", ()),
+            ('//book[. contains "xml"]', ()),
+            ("//lib//journal", ()),
+        ):
+            a1 = fine.query(query, keyword_steps=kw)
+            a2 = coarse.query(query, keyword_steps=kw)
+            assert [a.bindings for a in a1] == [a.bindings for a in a2], query
+
+    def test_coarse_is_imprecise(self):
+        fine, coarse = self._pair()
+        # doc 2 has 'book' and 'title' but no structural match for
+        # //book//title; the coarse index cannot rule it out
+        _, fine_report = fine.query_with_report("//book//title")
+        _, coarse_report = coarse.query_with_report("//book//title")
+        assert not coarse_report.precise
+        assert coarse_report.candidate_docs >= fine_report.candidate_docs
+
+    def test_coarse_index_is_smaller(self):
+        """Repeated labels/words per document collapse to one posting."""
+        text = "<lib>%s</lib>" % "".join(
+            "<book><title>same words here</title></book>" for _ in range(10)
+        )
+
+        def index_size(granularity):
+            net = KadopNetwork.create(
+                num_peers=4,
+                config=KadopConfig(
+                    replication=1, index_granularity=granularity
+                ),
+                seed=2,
+            )
+            net.peers[0].publish(text, uri="u")
+            return sum(
+                node.store.total_postings() for node in net.net.alive_nodes()
+            )
+
+        assert index_size("document") < index_size("element") / 3
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            KadopConfig(index_granularity="bogus")
+
+
+class TestSelectiveWordIndexing:
+    def _net(self):
+        config = KadopConfig(
+            replication=1, word_index_labels=frozenset({"abstract"})
+        )
+        net = KadopNetwork.create(num_peers=4, config=config, seed=1)
+        net.peers[0].publish(DOC, uri="u:1")
+        return net
+
+    def test_indexed_words_still_searchable(self):
+        net = self._net()
+        answers = net.query('//report[contains(.//abstract, "novel")]')
+        assert len(answers) == 1
+
+    def test_unindexed_words_lose_completeness(self):
+        net = self._net()
+        # 'proofs' lives in the body, which is not word-indexed: the index
+        # query finds nothing (the documented completeness trade-off)
+        assert net.query('//report[contains(.//body, "proofs")]') == []
+
+    def test_unpublish_respects_settings(self):
+        net = self._net()
+        removed = net.peers[0].unpublish(0)
+        assert removed > 0
+        for node in net.net.alive_nodes():
+            assert node.store.count(word_key("novel")) == 0
+
+
+class TestValueEquality:
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = KadopNetwork.create(num_peers=4, config=KadopConfig(replication=1))
+        net.peers[0].publish(
+            "<bib>"
+            "<article><year>1994</year></article>"
+            "<article><year>1994 revised</year></article>"
+            "<article><year>2001</year></article>"
+            "</bib>",
+            uri="u:1",
+        )
+        return net
+
+    def test_equality_is_exact(self, net):
+        assert len(net.query('//article//year[. = "1994"]')) == 1
+
+    def test_contains_is_substring_word(self, net):
+        assert len(net.query('//article//year[. contains "1994"]')) == 2
+
+    def test_equality_with_branch(self, net):
+        answers = net.query('//article[//year[. = "2001"]]')
+        assert len(answers) == 1
+
+    def test_no_match(self, net):
+        assert net.query('//article//year[. = "1999"]') == []
+
+    def test_conflicting_equalities_rejected(self, net):
+        from repro.errors import QueryParseError
+
+        with pytest.raises(QueryParseError):
+            net.parse('//a[. = "x"][. = "y"]')
+
+    def test_equality_renumbers_consistently(self, net):
+        pattern = net.parse('//year[. = "1994"]')
+        assert pattern.root.value_equals == "1994"
+        assert pattern.root.children[0].word == "1994"

@@ -1,0 +1,146 @@
+"""Tests for the cost-based strategy optimizer."""
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.optimizer import StrategyOptimizer, TermStats
+from repro.kadop.system import KadopNetwork
+from repro.query.index_plan import build_index_plan
+from repro.workloads.dblp import DblpGenerator
+
+
+@pytest.fixture(scope="module")
+def corpus_net():
+    net = KadopNetwork.create(
+        num_peers=10, config=KadopConfig(replication=1), seed=13
+    )
+    gen = DblpGenerator(seed=21, target_doc_bytes=6000)
+    for i, doc in enumerate(gen.documents(10)):
+        net.peers[i % 5].publish(doc, uri="d:%d" % i)
+    return net
+
+
+def component_of(net, query, keywords=()):
+    plan = build_index_plan(net.parse(query, keyword_steps=keywords))
+    assert len(plan.components) == 1
+    return plan.components[0]
+
+
+class TestStatsGathering:
+    def test_counts_match_index(self, corpus_net):
+        component = component_of(corpus_net, "//article//author")
+        stats, duration = corpus_net.optimizer.gather_stats(
+            component, corpus_net.peers[0]
+        )
+        from repro.postings.term_relation import label_key
+
+        owner = corpus_net.net.owner_of(label_key("author"))
+        true_count = owner.store.count(label_key("author"))
+        author_node = component.root.children[0]
+        assert stats[author_node.node_id].postings == true_count
+        assert duration > 0
+
+    def test_stats_charged_as_control_traffic(self, corpus_net):
+        component = component_of(corpus_net, "//article//author")
+        before = corpus_net.meter.bytes("control")
+        corpus_net.optimizer.gather_stats(component, corpus_net.peers[0])
+        assert corpus_net.meter.bytes("control") > before
+
+
+class TestDecisions:
+    def test_selective_keyword_picks_db(self, corpus_net):
+        component = component_of(
+            corpus_net, "//article//author//Ullman", ("Ullman",)
+        )
+        choice = corpus_net.optimizer.choose(component, corpus_net.peers[0])
+        assert choice.strategy in ("db", "subquery")
+        assert choice.estimates["db"] < choice.estimates["baseline"]
+
+    def test_branching_query_picks_subquery(self, corpus_net):
+        component = component_of(
+            corpus_net, "//article[//title]//author//Ullman", ("Ullman",)
+        )
+        choice = corpus_net.optimizer.choose(component, corpus_net.peers[0])
+        assert choice.strategy == "subquery"
+
+    def test_unselective_query_stays_baseline(self, corpus_net):
+        component = component_of(corpus_net, "//dblp//author")
+        choice = corpus_net.optimizer.choose(component, corpus_net.peers[0])
+        assert choice.strategy == "baseline"
+        assert choice.executor_strategy is None
+
+    def test_single_term_is_trivially_baseline(self, corpus_net):
+        component = component_of(corpus_net, "//author")
+        choice = corpus_net.optimizer.choose(component, corpus_net.peers[0])
+        assert choice.strategy == "baseline"
+
+    def test_empty_term_short_circuits(self, corpus_net):
+        component = component_of(corpus_net, "//article//zzznothing")
+        choice = corpus_net.optimizer.choose(component, corpus_net.peers[0])
+        assert choice.strategy == "baseline"
+
+
+class TestAutoExecution:
+    QUERIES = [
+        ("//article//author//Ullman", ("Ullman",)),
+        ("//article[//title]//author//Ullman", ("Ullman",)),
+        ("//article//author", ()),
+        ('//article[. contains "Ullman"]', ()),
+    ]
+
+    @pytest.mark.parametrize("query,keywords", QUERIES)
+    def test_auto_preserves_answers(self, corpus_net, query, keywords):
+        base = corpus_net.query(query, keyword_steps=keywords)
+        auto, report = corpus_net.query_with_report(
+            query, keyword_steps=keywords, strategy="auto"
+        )
+        assert [a.bindings for a in auto] == [a.bindings for a in base]
+        assert report.chosen_strategy is not None
+
+    def test_auto_never_much_worse_than_best_fixed(self, corpus_net):
+        """The optimizer's pick should be within 40% of the best fixed
+        strategy's index-phase traffic (estimates are heuristic)."""
+        for query, keywords in self.QUERIES:
+            volumes = {}
+            for strategy in (None, "ab", "db", "bloom", "subquery"):
+                _, report = corpus_net.query_with_report(
+                    query, keyword_steps=keywords, strategy=strategy
+                )
+                volumes[strategy] = report.traffic.get(
+                    "postings", 0
+                ) + report.traffic.get("filters", 0)
+            _, auto_report = corpus_net.query_with_report(
+                query, keyword_steps=keywords, strategy="auto"
+            )
+            auto_volume = auto_report.traffic.get(
+                "postings", 0
+            ) + auto_report.traffic.get("filters", 0)
+            best = min(volumes.values())
+            assert auto_volume <= best * 1.4 + 600, (query, volumes, auto_volume)
+
+    def test_auto_as_config_default(self, corpus_net):
+        config = KadopConfig(filter_strategy="auto", replication=1)
+        net = KadopNetwork.create(num_peers=4, config=config, seed=1)
+        net.peers[0].publish("<a><b>x</b><c>y</c></a>", uri="u")
+        answers, report = net.query_with_report("//a//b")
+        assert len(answers) == 1
+        assert report.chosen_strategy is not None
+
+
+class TestEstimates:
+    def test_survival_model(self):
+        assert StrategyOptimizer._survival(5, 10) == 0.5
+        assert StrategyOptimizer._survival(20, 10) == 1.0
+        assert StrategyOptimizer._survival(5, 0) == 0.0
+
+    def test_filter_size_models_track_fp_rates(self, corpus_net):
+        opt = corpus_net.optimizer
+        assert opt._db_filter_bytes(1000, l=20) > opt._ab_filter_bytes(1000)
+
+    def test_db_survival_uses_posting_ratio(self):
+        assert StrategyOptimizer._survival_db(8, 4000) == 8 / 4000
+        assert StrategyOptimizer._survival_db(100, 10) == 1.0
+        assert StrategyOptimizer._survival_db(5, 0) == 0.0
+
+    def test_term_stats_wire_bytes(self):
+        assert TermStats(postings=100, documents=10).wire_bytes == 400.0

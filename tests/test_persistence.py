@@ -1,0 +1,98 @@
+"""Tests for replay-based checkpoint/restore of a network."""
+
+import json
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.workloads.inex import InexGenerator
+
+
+class TestSaveLoad:
+    def _network(self):
+        config = KadopConfig(replication=2, use_dpp=True, dpp_block_entries=30)
+        net = KadopNetwork.create(num_peers=6, config=config, seed=4)
+        net.peers[0].publish(
+            "<lib><book><title>xml data</title><author>jones</author></book></lib>",
+            uri="u:0",
+        )
+        net.peers[1].publish(
+            '<pkgs><pkg name="zlib"><v>1</v></pkg></pkgs>',
+            uri="u:1",
+            doc_type="catalog",
+        )
+        return net
+
+    def test_roundtrip_answers(self, tmp_path):
+        net = self._network()
+        path = tmp_path / "checkpoint.json"
+        net.save(path)
+        restored = KadopNetwork.load(path)
+        for query, kw in (
+            ("//book//title", ()),
+            ('//pkg[@name="zlib"]', ()),
+            ("//lib//author//jones", ("jones",)),
+        ):
+            a1 = net.query(query, keyword_steps=kw)
+            a2 = restored.query(query, keyword_steps=kw)
+            assert [a.bindings for a in a1] == [a.bindings for a in a2], query
+
+    def test_config_preserved(self, tmp_path):
+        net = self._network()
+        path = tmp_path / "c.json"
+        net.save(path)
+        restored = KadopNetwork.load(path)
+        assert restored.config.use_dpp
+        assert restored.config.dpp_block_entries == 30
+        assert restored.config.replication == 2
+        assert len(restored.peers) == 6
+        assert [p.uri for p in restored.peers] == [p.uri for p in net.peers]
+
+    def test_doc_types_preserved(self, tmp_path):
+        net = self._network()
+        path = tmp_path / "c.json"
+        net.save(path)
+        restored = KadopNetwork.load(path)
+        assert restored.peers[1].documents[0].doc_type == "catalog"
+
+    def test_intensional_resources_replayed(self, tmp_path):
+        config = KadopConfig(replication=1)
+        net = KadopNetwork.create(num_peers=4, config=config, seed=2)
+        gen = InexGenerator(seed=5, match_count=2, collection_size=6)
+        gen.register_abstracts(net, 6)
+        for i in range(6):
+            net.peers[i % 2].publish(gen.document(i), uri="inex:%d" % i)
+        path = tmp_path / "c.json"
+        net.save(path)
+        restored = KadopNetwork.load(path)
+        assert restored.fundex.functional_count == 6
+        pattern = restored.parse(gen.query())
+        a1, _ = net.fundex.query(pattern, net.peers[0], mode="fundex")
+        pattern2 = restored.parse(gen.query())
+        a2, _ = restored.fundex.query(pattern2, restored.peers[0], mode="fundex")
+        assert {a.doc_id for a in a1} == {a.doc_id for a in a2}
+
+    def test_word_label_config_roundtrip(self, tmp_path):
+        config = KadopConfig(
+            replication=1, word_index_labels=frozenset({"abstract"})
+        )
+        net = KadopNetwork.create(num_peers=3, config=config, seed=1)
+        path = tmp_path / "c.json"
+        net.save(path)
+        restored = KadopNetwork.load(path)
+        assert restored.config.word_index_labels == frozenset({"abstract"})
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError):
+            KadopNetwork.load(path)
+
+    def test_checkpoint_is_plain_json(self, tmp_path):
+        net = self._network()
+        path = tmp_path / "c.json"
+        net.save(path)
+        state = json.loads(path.read_text())
+        assert state["format"] == 1
+        assert len(state["documents"]) == 2

@@ -1,0 +1,229 @@
+"""Tests for postings: ordering, posting lists, the binary encoder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.postings.encoder import decode_postings, encode_postings, encoded_size
+from repro.postings.plist import PostingList
+from repro.postings.posting import Posting, StructuralId
+from repro.postings.term_relation import (
+    TermRelation,
+    is_label_key,
+    label_key,
+    term_of_key,
+    word_key,
+)
+from repro.storage.clustered import ClusteredIndexStore
+
+
+def P(peer, doc, start, end, level=1):
+    return Posting(peer, doc, start, end, level)
+
+
+posting_strategy = st.builds(
+    lambda p, d, s, w, l: Posting(p, d, s, s + w, l),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=100_000),
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=0, max_value=30),
+)
+
+
+class TestPosting:
+    def test_lexicographic_order(self):
+        assert P(0, 0, 1, 10) < P(0, 0, 2, 5)
+        assert P(0, 1, 1, 2) > P(0, 0, 9, 10)
+        assert P(1, 0, 1, 2) > P(0, 9, 9, 10)
+
+    def test_ancestor_check(self):
+        outer, inner = P(0, 0, 1, 10), P(0, 0, 3, 4, level=2)
+        assert outer.is_ancestor_of(inner)
+        assert not inner.is_ancestor_of(outer)
+
+    def test_ancestor_requires_same_doc(self):
+        assert not P(0, 0, 1, 10).is_ancestor_of(P(0, 1, 3, 4))
+        assert not P(0, 0, 1, 10).is_ancestor_of(P(1, 0, 3, 4))
+
+    def test_parent_check_uses_level(self):
+        parent = P(0, 0, 1, 10, level=0)
+        child = P(0, 0, 2, 3, level=1)
+        grandchild = P(0, 0, 4, 5, level=2)
+        assert parent.is_parent_of(child)
+        assert not parent.is_parent_of(grandchild)
+
+    def test_sid(self):
+        assert P(0, 0, 2, 5, level=3).sid == StructuralId(2, 5, 3)
+
+    def test_sid_contains(self):
+        assert StructuralId(1, 10, 0).contains(StructuralId(2, 3, 1))
+        assert not StructuralId(2, 3, 1).contains(StructuralId(2, 3, 1))
+
+    def test_validate(self):
+        with pytest.raises(ValueError):
+            P(0, 0, 5, 5).validate()
+        with pytest.raises(ValueError):
+            P(-1, 0, 1, 2).validate()
+        assert P(0, 0, 1, 2).validate() is not None
+
+    def test_doc_id(self):
+        assert P(3, 7, 1, 2).doc_id == (3, 7)
+
+
+class TestPostingList:
+    def test_sorts_on_construction(self):
+        pl = PostingList([P(0, 1, 1, 2), P(0, 0, 1, 2)])
+        assert pl[0] == P(0, 0, 1, 2)
+
+    def test_presorted_validation(self):
+        with pytest.raises(ValueError):
+            PostingList([P(0, 1, 1, 2), P(0, 0, 1, 2)], presorted=True)
+
+    def test_add_keeps_order_and_dedupes(self):
+        pl = PostingList()
+        assert pl.add(P(0, 0, 3, 4))
+        assert pl.add(P(0, 0, 1, 2))
+        assert not pl.add(P(0, 0, 1, 2))
+        assert pl.items() == [P(0, 0, 1, 2), P(0, 0, 3, 4)]
+
+    def test_extend_fast_path_appends(self):
+        pl = PostingList([P(0, 0, 1, 2)])
+        pl.extend([P(0, 0, 3, 4), P(0, 0, 5, 6)])
+        assert len(pl) == 3
+
+    def test_extend_merges_out_of_order(self):
+        pl = PostingList([P(0, 0, 3, 4)])
+        pl.extend([P(0, 0, 1, 2), P(0, 0, 3, 4)])
+        assert pl.items() == [P(0, 0, 1, 2), P(0, 0, 3, 4)]
+
+    def test_remove(self):
+        pl = PostingList([P(0, 0, 1, 2)])
+        assert pl.remove(P(0, 0, 1, 2))
+        assert not pl.remove(P(0, 0, 1, 2))
+        assert len(pl) == 0
+
+    def test_contains(self):
+        pl = PostingList([P(0, 0, 1, 2)])
+        assert P(0, 0, 1, 2) in pl
+        assert P(0, 0, 3, 4) not in pl
+
+    def test_range(self):
+        pl = PostingList([P(0, 0, i, i + 1) for i in range(1, 20, 2)])
+        sub = pl.range(P(0, 0, 5, 0), P(0, 0, 11, 999))
+        assert [p.start for p in sub] == [5, 7, 9, 11]
+
+    def test_doc_range(self):
+        pl = PostingList(
+            [P(0, d, 1, 2) for d in range(5)] + [P(1, 0, 1, 2)]
+        )
+        sub = pl.doc_range((0, 1), (0, 3))
+        assert [p.doc for p in sub] == [1, 2, 3]
+
+    def test_doc_ids_deduped_ordered(self):
+        pl = PostingList([P(0, 0, 1, 2), P(0, 0, 3, 4), P(0, 2, 1, 2)])
+        assert pl.doc_ids() == [(0, 0), (0, 2)]
+
+    def test_split_and_chunks(self):
+        pl = PostingList([P(0, 0, i, i + 1) for i in range(1, 11)])
+        left, right = pl.split_at(4)
+        assert len(left) == 4 and len(right) == 6
+        chunks = list(pl.chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_chunks_validation(self):
+        with pytest.raises(ValueError):
+            list(PostingList().chunks(0))
+
+    def test_merge(self):
+        a = PostingList([P(0, 0, 1, 2)])
+        b = PostingList([P(0, 0, 3, 4), P(0, 0, 1, 2)])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert len(a) == 1  # merge does not mutate
+
+    def test_filter(self):
+        pl = PostingList([P(0, 0, i, i + 1) for i in range(1, 8, 2)])
+        assert len(pl.filter(lambda p: p.start > 3)) == 2
+
+    def test_slice_returns_posting_list(self):
+        pl = PostingList([P(0, 0, i, i + 1) for i in range(1, 9, 2)])
+        assert isinstance(pl[1:3], PostingList)
+        assert len(pl[1:3]) == 2
+
+    @given(st.lists(posting_strategy, max_size=60))
+    def test_always_sorted_invariant(self, postings):
+        pl = PostingList(postings)
+        items = pl.items()
+        assert items == sorted(set(items))
+
+
+class TestEncoder:
+    def test_empty(self):
+        data = encode_postings([])
+        decoded, offset = decode_postings(data)
+        assert len(decoded) == 0 and offset == len(data)
+
+    def test_roundtrip_simple(self):
+        postings = PostingList([P(0, 0, 1, 8, 0), P(0, 0, 2, 3, 1), P(1, 2, 5, 9, 2)])
+        decoded, _ = decode_postings(encode_postings(postings))
+        assert decoded.items() == postings.items()
+
+    def test_size_matches_encoding(self):
+        postings = PostingList([P(0, d, s, s + 3, 1) for d in range(3) for s in (1, 50, 900)])
+        assert encoded_size(postings) == len(encode_postings(postings))
+
+    def test_delta_compression_helps(self):
+        dense = PostingList([P(0, 0, i, i + 1, 5) for i in range(1, 1001)])
+        # 5 fields shrink to one byte each under delta coding (vs 40 fixed)
+        assert encoded_size(dense) <= 5 * len(dense) + 8
+
+    @given(st.lists(posting_strategy, max_size=80))
+    def test_roundtrip_property(self, postings):
+        pl = PostingList(postings)
+        data = encode_postings(pl)
+        decoded, offset = decode_postings(data)
+        assert decoded.items() == pl.items()
+        assert offset == len(data)
+        assert encoded_size(pl) == len(data)
+
+
+class TestTermRelationKeys:
+    def test_prefixes_distinct(self):
+        assert label_key("author") != word_key("author")
+
+    def test_word_key_case_folds(self):
+        assert word_key("Ullman") == word_key("ullman")
+
+    def test_roundtrip(self):
+        assert term_of_key(label_key("a")) == "a"
+        assert term_of_key(word_key("b")) == "b"
+
+    def test_is_label_key(self):
+        assert is_label_key(label_key("a"))
+        assert not is_label_key(word_key("a"))
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError):
+            term_of_key("bogus:a")
+
+
+class TestTermRelation:
+    def test_add_and_get(self):
+        rel = TermRelation(ClusteredIndexStore())
+        rel.add(label_key("a"), [P(0, 0, 1, 2)])
+        rel.add(label_key("a"), [P(0, 0, 3, 4)])
+        assert len(rel.postings(label_key("a"))) == 2
+        assert rel.count(label_key("a")) == 2
+        assert label_key("a") in rel
+
+    def test_range_access(self):
+        rel = TermRelation(ClusteredIndexStore())
+        rel.add("t", [P(0, 0, i, i + 1) for i in range(1, 21, 2)])
+        sub = rel.postings_in_range("t", P(0, 0, 5, 0, 0), P(0, 0, 9, 99, 99))
+        assert [p.start for p in sub] == [5, 7, 9]
+
+    def test_remove(self):
+        rel = TermRelation(ClusteredIndexStore())
+        rel.add("t", [P(0, 0, 1, 2)])
+        assert rel.remove("t", P(0, 0, 1, 2))
+        assert rel.count("t") == 0

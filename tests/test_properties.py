@@ -1,0 +1,209 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These complement the per-module suites with invariants that only make
+sense across components: scheduler lower bounds, DPP-vs-model equivalence,
+parser robustness, encoder fuzz.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryParseError, XmlParseError
+from repro.postings.encoder import decode_postings
+from repro.postings.plist import PostingList
+from repro.postings.posting import Posting
+from repro.sim.tasks import Scheduler
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_makespan_lower_bounds(self, data):
+        """makespan >= total-work/capacity and >= longest task, always."""
+        capacity = data.draw(st.integers(min_value=1, max_value=4))
+        durations = data.draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=5.0),
+                min_size=1,
+                max_size=15,
+            )
+        )
+        scheduler = Scheduler()
+        scheduler.add_resource("r", capacity)
+        for i, duration in enumerate(durations):
+            scheduler.add_task("t%d" % i, duration, resources=("r",))
+        makespan = scheduler.run()
+        assert makespan >= max(durations) - 1e-9
+        assert makespan >= sum(durations) / capacity - 1e-9
+        # greedy list scheduling is within 2x of any schedule's lower bound
+        assert makespan <= sum(durations) / capacity + max(durations) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_chain_plus_parallel(self, seed):
+        """A dependency chain's finish time is the sum of its durations,
+        regardless of unrelated parallel load."""
+        rng = random.Random(seed)
+        scheduler = Scheduler()
+        chain = []
+        prev = None
+        total = 0.0
+        for i in range(rng.randint(1, 6)):
+            duration = rng.uniform(0.1, 2.0)
+            total += duration
+            prev = scheduler.add_task(
+                "c%d" % i, duration, deps=[prev] if prev else []
+            )
+            chain.append(prev)
+        for i in range(rng.randint(0, 6)):
+            scheduler.add_task("free%d" % i, rng.uniform(0.1, 2.0))
+        makespan = scheduler.run()
+        assert chain[-1].finish == pytest.approx(total)
+        assert makespan >= total - 1e-9
+
+
+class TestDppModelBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_dpp_equals_sorted_set_model(self, seed):
+        """Random interleaved appends/deletes across terms: the DPP always
+        reassembles exactly the model's sorted sets."""
+        from repro.dht.network import DhtNetwork
+        from repro.index.dpp import DppIndex
+
+        rng = random.Random(seed)
+        net = DhtNetwork.create(6, replication=1)
+        dpp = DppIndex(net, max_block_entries=rng.choice([4, 7, 12]))
+        model = {}
+        terms = ["t1", "t2"]
+        for _ in range(rng.randint(1, 12)):
+            term = rng.choice(terms)
+            if model.get(term) and rng.random() < 0.25:
+                victims = rng.sample(
+                    sorted(model[term]), rng.randint(1, len(model[term]))
+                )
+                dpp.delete(net.nodes[0], term, victims)
+                model[term] -= set(victims)
+            else:
+                batch = set()
+                for _ in range(rng.randint(1, 15)):
+                    start = rng.randrange(1, 500) * 2 + 1
+                    batch.add(Posting(0, rng.randrange(3), start, start + 1, 1))
+                dpp.append(net.nodes[0], term, sorted(batch))
+                model.setdefault(term, set()).update(batch)
+        for term in terms:
+            expected = sorted(model.get(term, ()))
+            got = dpp.full_list(net.nodes[0], term).items()
+            assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_root_conditions_cover_all_blocks(self, seed):
+        from repro.dht.network import DhtNetwork
+        from repro.index.dpp import DppIndex
+
+        rng = random.Random(seed)
+        net = DhtNetwork.create(5, replication=1)
+        dpp = DppIndex(net, max_block_entries=5)
+        postings = sorted(
+            {
+                Posting(0, rng.randrange(4), s * 2 + 1, s * 2 + 2, 1)
+                for s in rng.sample(range(1, 300), rng.randint(5, 60))
+            }
+        )
+        for i in range(0, len(postings), 9):
+            dpp.append(net.nodes[0], "t", postings[i : i + 9])
+        owner = net.owner_of("t")
+        root = owner.objects[DppIndex.ROOT_KEY_PREFIX + "t"][0]
+        root.check_invariants()
+        for entry in root.entries:
+            if entry.condition is None:
+                continue
+            block, _, _ = dpp.fetch_block(net.nodes[0], "t", entry)
+            for posting in block:
+                assert entry.condition.lo <= posting <= entry.condition.hi
+
+
+class TestParserRobustness:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=40))
+    def test_xpath_never_crashes(self, text):
+        """Arbitrary input either parses or raises QueryParseError."""
+        from repro.query.xpath import parse_query
+
+        try:
+            parse_query(text)
+        except QueryParseError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=60))
+    def test_xml_parser_never_crashes(self, text):
+        from repro.errors import EntityResolutionError
+        from repro.xmldata.parser import parse_document
+
+        try:
+            parse_document(text)
+        except (XmlParseError, EntityResolutionError):
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=60))
+    def test_xquery_never_crashes(self, text):
+        from repro.query.xquery import compile_xquery
+
+        try:
+            compile_xquery(text)
+        except QueryParseError:
+            pass
+
+
+class TestEncoderFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=60))
+    def test_decode_random_bytes_never_crashes(self, data):
+        """Garbage input raises ValueError, never a wrong answer or hang."""
+        try:
+            plist, _ = decode_postings(data)
+        except (ValueError, OverflowError):
+            return
+        assert isinstance(plist, PostingList)
+
+
+class TestBloomReducerProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_reducers_preserve_candidates_random_corpora(self, seed):
+        """On random corpora, every strategy yields the baseline answers."""
+        from repro.kadop.config import KadopConfig
+        from repro.kadop.system import KadopNetwork
+
+        rng = random.Random(seed)
+        net = KadopNetwork.create(
+            num_peers=5, config=KadopConfig(replication=1), seed=seed % 7
+        )
+        for d in range(3):
+            parts = []
+
+            def build(depth, budget):
+                label = rng.choice("abc")
+                parts.append("<%s>" % label)
+                if rng.random() < 0.4:
+                    parts.append(rng.choice(["x", "y"]))
+                for _ in range(0 if depth > 3 else rng.randint(0, 2)):
+                    if budget[0] <= 0:
+                        break
+                    budget[0] -= 1
+                    build(depth + 1, budget)
+                parts.append("</%s>" % label)
+
+            build(0, [10])
+            net.peers[d % 3].publish("".join(parts), uri="u:%d" % d)
+        query = rng.choice(
+            ["//a//b", '//a[. contains "x"]', "//b//c", "//a[//b]//c"]
+        )
+        baseline = net.query(query)
+        for strategy in ("ab", "db", "bloom", "subquery", "auto"):
+            assert net.query(query, strategy=strategy) == baseline, strategy

@@ -1,0 +1,310 @@
+"""Tests for query evaluation: the matcher oracle and the twig join.
+
+The key test is differential: on random documents and random patterns, the
+holistic twig join over extracted posting streams must produce exactly the
+matches the direct tree matcher finds.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.publisher import extract_postings
+from repro.postings.plist import PostingList
+from repro.query.matcher import Match, match_document, match_to_postings
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.query.twigjoin import twig_join
+from repro.query.xpath import parse_query
+from repro.xmldata.parser import parse_document
+
+DOC = parse_document(
+    "<lib>"
+    "<article><author>jones smith</author><title>xml data</title></article>"
+    "<article><author>ullman</author><title>databases</title></article>"
+    "<book><author>smith</author><chapter><title>intro</title></chapter></book>"
+    "</lib>"
+)
+
+
+def streams_for(pattern, document, peer=0, doc=0):
+    """Build twig-join input streams from a document, per pattern node."""
+    extracted = extract_postings(document, peer, doc)
+    from repro.kadop.execution import term_key_of
+
+    streams = {}
+    for node in pattern.nodes():
+        key = term_key_of(node)
+        streams[node.node_id] = PostingList(extracted.get(key, []))
+    return streams
+
+
+def join_results(pattern, document):
+    return {
+        tuple(sorted(sol.items()))
+        for sol in twig_join(pattern, streams_for(pattern, document))
+    }
+
+
+def matcher_results(pattern, document):
+    return {
+        tuple(sorted(match_to_postings(m, 0, 0).items()))
+        for m in match_document(pattern, document)
+    }
+
+
+class TestMatcher:
+    def test_simple_descendant(self):
+        matches = match_document(parse_query("//article//author"), DOC)
+        assert len(matches) == 2
+
+    def test_child_vs_descendant(self):
+        assert len(match_document(parse_query("//book/title"), DOC)) == 0
+        assert len(match_document(parse_query("//book//title"), DOC)) == 1
+
+    def test_root_child_axis_binds_document_root(self):
+        assert len(match_document(parse_query("/lib"), DOC)) == 1
+        assert len(match_document(parse_query("/article"), DOC)) == 0
+
+    def test_word_predicate(self):
+        matches = match_document(
+            parse_query('//article[. contains "ullman"]'), DOC
+        )
+        assert len(matches) == 1
+
+    def test_word_is_case_insensitive(self):
+        assert match_document(parse_query('//article[. contains "ULLMAN"]'), DOC)
+
+    def test_branching(self):
+        matches = match_document(parse_query("//article[//title]//author"), DOC)
+        assert len(matches) == 2
+
+    def test_wildcard(self):
+        matches = match_document(parse_query("//*//title"), DOC)
+        # ancestors: lib+article for each article title (4), and
+        # lib+book+chapter for the chapter title (3)
+        assert len(matches) == 7
+
+    def test_no_match(self):
+        assert match_document(parse_query("//nonexistent"), DOC) == []
+
+    def test_multiple_bindings_same_doc(self):
+        matches = match_document(parse_query("//lib//author"), DOC)
+        assert len(matches) == 3
+
+    def test_match_to_postings(self):
+        (match,) = match_document(parse_query('//article[. contains "ullman"]'), DOC)
+        postings = match_to_postings(match, 4, 9)
+        assert all(p.peer == 4 and p.doc == 9 for p in postings.values())
+
+    def test_match_dedup(self):
+        # two identical word children must not duplicate matches
+        matches = match_document(
+            parse_query('//article[. contains "xml"][. contains "xml"]'), DOC
+        )
+        assert len(matches) == 1
+
+
+class TestMatcherIncomplete:
+    DOC_INT = parse_document(
+        '<!DOCTYPE article [ <!ENTITY a SYSTEM "u:a"> ]>'
+        "<article><title>xml</title><abstract>&a;</abstract></article>"
+    )
+
+    def test_incomplete_disabled_by_default(self):
+        assert (
+            match_document(
+                parse_query('//article[contains(.//abstract,"graph")]'), self.DOC_INT
+            )
+            == []
+        )
+
+    def test_incomplete_at_intensional_element(self):
+        matches = match_document(
+            parse_query('//article//abstract[. contains "graph"]'),
+            self.DOC_INT,
+            allow_incomplete=True,
+        )
+        assert len(matches) == 1
+        (m,) = matches
+        assert not m.is_complete
+        # the abstract node (node_id 1) is the incomplete variable
+        assert 1 in m.incomplete
+
+    def test_failure_under_intensional_ancestor_marked_there(self):
+        # title itself is extensional, but the include under article could
+        # hide another title: completeness requires marking *article*
+        matches = match_document(
+            parse_query('//article//title[. contains "graph"]'),
+            self.DOC_INT,
+            allow_incomplete=True,
+        )
+        assert len(matches) == 1
+        (m,) = matches
+        assert m.incomplete == {0}
+        assert list(m.bindings) == [0]
+
+    def test_purely_extensional_doc_never_incomplete(self):
+        doc = parse_document("<article><title>xml</title></article>")
+        matches = match_document(
+            parse_query('//article//title[. contains "graph"]'),
+            doc,
+            allow_incomplete=True,
+        )
+        assert matches == []
+
+    def test_complete_matches_sort_first(self):
+        doc = parse_document(
+            '<!DOCTYPE l [ <!ENTITY a SYSTEM "u:a"> ]>'
+            "<l><x>graph</x><x>&a;</x></l>"
+        )
+        matches = match_document(
+            parse_query('//l//x[. contains "graph"]'), doc, allow_incomplete=True
+        )
+        assert len(matches) == 2
+        assert matches[0].is_complete and not matches[1].is_complete
+
+
+class TestTwigJoinBasics:
+    @pytest.mark.parametrize(
+        "query,keywords",
+        [
+            ("//article", ()),
+            ("//article//author", ()),
+            ("//lib//article//title", ()),
+            ("//book/author", ()),
+            ("//book/title", ()),
+            ("//article[//title]//author", ()),
+            ("//lib[//book]//article[//author]//title", ()),
+            ('//article[. contains "ullman"]', ()),
+            ('//article[. contains "ullman"]//title', ()),
+            ("//article//author//smith", ("smith",)),
+            ("//lib//author", ()),
+            ("//a//b", ()),
+        ],
+    )
+    def test_agrees_with_matcher(self, query, keywords):
+        pattern = parse_query(query, keyword_steps=keywords)
+        assert join_results(pattern, DOC) == matcher_results(pattern, DOC)
+
+    def test_multi_document_streams(self):
+        doc2 = parse_document("<lib><article><author>ullman</author></article></lib>")
+        pattern = parse_query("//article//author")
+        s1 = streams_for(pattern, DOC, peer=0, doc=0)
+        s2 = streams_for(pattern, doc2, peer=1, doc=0)
+        streams = {
+            nid: s1[nid].merge(s2[nid]) for nid in s1
+        }
+        solutions = twig_join(pattern, streams)
+        docs = {(sol[0].peer, sol[0].doc) for sol in solutions}
+        assert docs == {(0, 0), (1, 0)}
+
+    def test_missing_stream_rejected(self):
+        pattern = parse_query("//a//b")
+        with pytest.raises(ValueError):
+            twig_join(pattern, {0: PostingList()})
+
+    def test_empty_streams(self):
+        pattern = parse_query("//a//b")
+        assert twig_join(pattern, {0: PostingList(), 1: PostingList()}) == []
+
+    def test_one_empty_stream(self):
+        pattern = parse_query("//article//nothing")
+        assert twig_join(pattern, streams_for(pattern, DOC)) == []
+
+    def test_single_node_pattern(self):
+        pattern = parse_query("//author")
+        solutions = twig_join(pattern, streams_for(pattern, DOC))
+        assert len(solutions) == 3
+
+    def test_self_label_nesting(self):
+        doc = parse_document("<a><a><a/></a></a>")
+        pattern = parse_query("//a//a")
+        assert join_results(pattern, doc) == matcher_results(pattern, doc)
+        assert len(join_results(pattern, doc)) == 3
+
+    def test_output_deterministic_order(self):
+        pattern = parse_query("//lib//author")
+        sols = twig_join(pattern, streams_for(pattern, DOC))
+        starts = [sol[1].start for sol in sols]
+        assert starts == sorted(starts)
+
+
+# -- randomized differential testing -------------------------------------------
+
+LABELS = ["a", "b", "c", "d"]
+WORDS = ["x", "y"]
+
+
+def random_document(rng, max_nodes=25):
+    parts = []
+
+    def build(depth, budget):
+        label = rng.choice(LABELS)
+        parts.append("<%s>" % label)
+        if rng.random() < 0.4:
+            parts.append(rng.choice(WORDS))
+        n_children = 0 if depth > 4 else rng.randint(0, 3)
+        for _ in range(n_children):
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1
+            build(depth + 1, budget)
+        parts.append("</%s>" % label)
+
+    build(0, [max_nodes])
+    return parse_document("".join(parts))
+
+
+def random_pattern(rng, max_nodes=4):
+    def build(depth):
+        if rng.random() < 0.25:
+            node = PatternNode(
+                word=rng.choice(WORDS), axis=Axis.DESCENDANT_OR_SELF
+            )
+            return node
+        axis = rng.choice([Axis.CHILD, Axis.DESCENDANT])
+        node = PatternNode(label=rng.choice(LABELS), axis=axis)
+        if depth < 2:
+            for _ in range(rng.randint(0, 2)):
+                node.add_child(build(depth + 1))
+        return node
+
+    root = build(0)
+    if root.is_word:
+        parent = PatternNode(label=rng.choice(LABELS), axis=Axis.DESCENDANT)
+        parent.add_child(root)
+        root = parent
+    root.axis = Axis.DESCENDANT
+    return TreePattern(root)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_twigjoin_differential_random(seed):
+    """TwigStack over streams == direct tree matching, on random inputs."""
+    rng = random.Random(seed)
+    document = random_document(rng)
+    pattern = random_pattern(rng)
+    assert join_results(pattern, document) == matcher_results(pattern, document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_twigjoin_multi_doc_differential(seed):
+    rng = random.Random(seed)
+    docs = [random_document(rng, max_nodes=12) for _ in range(3)]
+    pattern = random_pattern(rng)
+    merged = None
+    expected = set()
+    for i, document in enumerate(docs):
+        s = streams_for(pattern, document, peer=i % 2, doc=i)
+        merged = s if merged is None else {
+            nid: merged[nid].merge(s[nid]) for nid in merged
+        }
+        expected |= {
+            tuple(sorted(match_to_postings(m, i % 2, i).items()))
+            for m in match_document(pattern, document)
+        }
+    got = {tuple(sorted(sol.items())) for sol in twig_join(pattern, merged)}
+    assert got == expected

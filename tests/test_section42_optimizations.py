@@ -1,0 +1,116 @@
+"""Tests for the Section 4.2 optimizations the paper sketches:
+
+* join pushdown — "some structural joins could be pushed to the peer
+  holding the longest posting list involved in the query";
+* striped replica fetch — "the transfer of a posting list can be
+  optimized by replicating it and transferring fragments from different
+  copies".
+"""
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.sim.cost import CostParams
+from repro.workloads.dblp import DblpGenerator
+
+
+def _corpus(net, docs=8):
+    gen = DblpGenerator(seed=21, target_doc_bytes=4000)
+    for i, doc in enumerate(gen.documents(docs)):
+        net.peers[i % 4].publish(doc, uri="d:%d" % i)
+
+
+class TestPushdown:
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = KadopNetwork.create(
+            num_peers=10, config=KadopConfig(replication=1), seed=13
+        )
+        _corpus(net)
+        return net
+
+    @pytest.mark.parametrize(
+        "query,keywords",
+        [
+            ("//article//author//Ullman", ("Ullman",)),
+            ("//article//author", ()),
+            ("//article[//title]//author", ()),
+            ('//inproceedings[. contains "Smith"]', ()),
+        ],
+    )
+    def test_same_answers(self, net, query, keywords):
+        base = net.query(query, keyword_steps=keywords)
+        pushed = net.query(query, keyword_steps=keywords, strategy="pushdown")
+        assert [a.bindings for a in pushed] == [a.bindings for a in base]
+
+    def test_saves_traffic_when_one_list_dominates(self, net):
+        """The dominant author list never crosses the network."""
+        query, kw = "//article//author//Ullman", ("Ullman",)
+        _, base = net.query_with_report(query, keyword_steps=kw)
+        _, push = net.query_with_report(query, keyword_steps=kw, strategy="pushdown")
+        assert push.traffic["postings"] < base.traffic["postings"] / 2
+
+    def test_single_term_query_degrades_gracefully(self, net):
+        answers = net.query("//author", strategy="pushdown")
+        assert answers == net.query("//author")
+
+    def test_config_accepts_pushdown(self):
+        config = KadopConfig(filter_strategy="pushdown", replication=1)
+        net = KadopNetwork.create(num_peers=4, config=config, seed=1)
+        net.peers[0].publish("<a><b>x</b></a>", uri="u")
+        assert len(net.query("//a//b")) == 1
+
+
+class TestStripedReplicaFetch:
+    def _nets(self):
+        # slow links so transfers dominate; 3 replicas to stripe across
+        cost = CostParams(
+            egress_bw=50_000.0, ingress_bw=300_000.0, hop_latency_s=0.002
+        )
+        plain = KadopNetwork.create(
+            num_peers=10,
+            config=KadopConfig(replication=3, cost=cost, chunk_postings=64),
+            seed=5,
+        )
+        striped = KadopNetwork.create(
+            num_peers=10,
+            config=KadopConfig(
+                replication=3,
+                cost=cost,
+                chunk_postings=64,
+                striped_replica_fetch=True,
+            ),
+            seed=5,
+        )
+        for net in (plain, striped):
+            _corpus(net, docs=6)
+        return plain, striped
+
+    def test_same_answers_and_traffic(self):
+        plain, striped = self._nets()
+        q = "//article//author"
+        a1, r1 = plain.query_with_report(q)
+        a2, r2 = striped.query_with_report(q)
+        assert [a.bindings for a in a1] == [a.bindings for a in a2]
+        # striping moves the same bytes, just in parallel fragments
+        assert abs(r1.traffic["postings"] - r2.traffic["postings"]) < 200
+
+    def test_striping_cuts_transfer_time(self):
+        plain, striped = self._nets()
+        q = "//article//author"
+        _, r1 = plain.query_with_report(q)
+        _, r2 = striped.query_with_report(q)
+        assert r2.index_time_s < r1.index_time_s * 0.75
+
+    def test_no_effect_without_replication(self):
+        cost = CostParams(
+            egress_bw=50_000.0, ingress_bw=300_000.0, hop_latency_s=0.002
+        )
+        config = KadopConfig(
+            replication=1, cost=cost, striped_replica_fetch=True
+        )
+        net = KadopNetwork.create(num_peers=8, config=config, seed=5)
+        _corpus(net, docs=4)
+        answers = net.query("//article//author")
+        assert answers  # single-copy fallback path still works

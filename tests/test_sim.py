@@ -1,0 +1,179 @@
+"""Tests for the simulation substrate: meter, cost model, scheduler."""
+
+import pytest
+
+from repro.sim.cost import CostModel, CostParams
+from repro.sim.meter import TrafficMeter
+from repro.sim.tasks import Scheduler, parallel_time, serial_time
+
+
+class TestTrafficMeter:
+    def test_records_by_category(self):
+        m = TrafficMeter()
+        m.record("postings", 100)
+        m.record("postings", 50)
+        m.record("filters", 10)
+        assert m.bytes("postings") == 150
+        assert m.bytes("filters") == 10
+        assert m.bytes() == 160
+        assert m.messages() == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMeter().record("x", -1)
+
+    def test_snapshot_delta(self):
+        m = TrafficMeter()
+        m.record("a", 5)
+        snap = m.snapshot()
+        m.record("a", 7)
+        m.record("b", 3)
+        delta = m.delta_since(snap)
+        assert delta == {"a": 7, "b": 3}
+
+    def test_reset(self):
+        m = TrafficMeter()
+        m.record("a", 5)
+        m.reset()
+        assert m.bytes() == 0
+
+
+class TestCostModel:
+    def test_transfer_scales_with_bytes(self):
+        cm = CostModel()
+        assert cm.transfer_time(2_000_000) > cm.transfer_time(1_000)
+
+    def test_transfer_scales_with_hops(self):
+        cm = CostModel()
+        assert cm.transfer_time(100, hops=4) > cm.transfer_time(100, hops=1)
+
+    def test_expected_hops_log(self):
+        cm = CostModel()
+        assert cm.expected_hops(1) == 0
+        assert cm.expected_hops(16) == 1
+        assert cm.expected_hops(17) == 2
+        assert cm.expected_hops(500) == 3
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CostParams(egress_bw=0)
+        with pytest.raises(ValueError):
+            CostParams(join_rate=-1)
+
+    def test_ingress_faster_than_egress_default(self):
+        # the DPP parallel-transfer gain depends on this
+        p = CostParams()
+        assert p.ingress_bw > p.egress_bw
+
+
+class TestScheduler:
+    def test_empty(self):
+        assert Scheduler().run() == 0.0
+
+    def test_serial_dependency_chain(self):
+        s = Scheduler()
+        a = s.add_task("a", 1.0)
+        b = s.add_task("b", 2.0, deps=[a])
+        c = s.add_task("c", 3.0, deps=[b])
+        assert s.run() == pytest.approx(6.0)
+        assert c.start == pytest.approx(3.0)
+
+    def test_parallel_without_contention(self):
+        s = Scheduler()
+        for i in range(5):
+            s.add_task("t%d" % i, 2.0)
+        assert s.run() == pytest.approx(2.0)
+
+    def test_resource_capacity_one_serializes(self):
+        s = Scheduler()
+        s.add_resource("link", 1)
+        for i in range(4):
+            s.add_task("t%d" % i, 1.0, resources=("link",))
+        assert s.run() == pytest.approx(4.0)
+
+    def test_resource_capacity_k(self):
+        s = Scheduler()
+        s.add_resource("link", 2)
+        for i in range(4):
+            s.add_task("t%d" % i, 1.0, resources=("link",))
+        assert s.run() == pytest.approx(2.0)
+
+    def test_two_resources_both_required(self):
+        s = Scheduler()
+        s.add_resource("eg", 1)
+        s.add_resource("in", 2)
+        # two tasks share the same egress: serialized despite free ingress
+        s.add_task("a", 1.0, resources=("eg", "in"))
+        s.add_task("b", 1.0, resources=("eg", "in"))
+        assert s.run() == pytest.approx(2.0)
+
+    def test_dpp_shape_parallel_producers(self):
+        """K producers into one consumer with capacity K finish together."""
+        s = Scheduler()
+        s.add_resource("ingress", 4)
+        for i in range(4):
+            s.add_resource("eg%d" % i, 1)
+            s.add_task("t%d" % i, 3.0, resources=("eg%d" % i, "ingress"))
+        assert s.run() == pytest.approx(3.0)
+
+    def test_unknown_resource_rejected(self):
+        s = Scheduler()
+        with pytest.raises(KeyError):
+            s.add_task("a", 1.0, resources=("nope",))
+
+    def test_negative_duration_rejected(self):
+        s = Scheduler()
+        with pytest.raises(ValueError):
+            s.add_task("a", -1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().add_resource("r", 0)
+
+    def test_unregistered_dependency_rejected(self):
+        s1, s2 = Scheduler(), Scheduler()
+        foreign = s2.add_task("x", 1.0)
+        s1.add_task("y", 1.0, deps=[foreign])
+        with pytest.raises(ValueError):
+            s1.run()
+
+    def test_determinism(self):
+        def build():
+            s = Scheduler()
+            s.add_resource("r", 2)
+            tasks = [s.add_task("t%d" % i, (i % 3) + 0.5, resources=("r",)) for i in range(9)]
+            makespan = s.run()
+            return makespan, [(t.start, t.finish) for t in tasks]
+
+        assert build() == build()
+
+    def test_diamond_dependencies(self):
+        s = Scheduler()
+        a = s.add_task("a", 1.0)
+        b = s.add_task("b", 2.0, deps=[a])
+        c = s.add_task("c", 3.0, deps=[a])
+        d = s.add_task("d", 1.0, deps=[b, c])
+        assert s.run() == pytest.approx(5.0)
+        assert d.start == pytest.approx(4.0)
+
+
+class TestHelpers:
+    def test_serial_time(self):
+        assert serial_time([1.0, 2.0, 3.0]) == 6.0
+
+    def test_parallel_time_unbounded(self):
+        assert parallel_time([1.0, 2.0, 3.0], degree=3) == 3.0
+
+    def test_parallel_time_bounded(self):
+        assert parallel_time([1.0, 1.0, 1.0, 1.0], degree=2) == 2.0
+
+    def test_parallel_time_lpt(self):
+        # LPT: 3 goes to one worker, 2+2 to the other
+        assert parallel_time([3.0, 2.0, 2.0], degree=2) == pytest.approx(4.0)
+
+    def test_parallel_time_empty(self):
+        assert parallel_time([], degree=4) == 0.0
+
+    def test_parallel_degree_validation(self):
+        with pytest.raises(ValueError):
+            parallel_time([1.0], degree=0)

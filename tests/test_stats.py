@@ -1,0 +1,68 @@
+"""Tests for network introspection statistics."""
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.stats import NetworkStats, PeerLoad, network_stats
+from repro.kadop.system import KadopNetwork
+from repro.workloads.dblp import DblpGenerator
+
+
+@pytest.fixture(scope="module")
+def net():
+    net = KadopNetwork.create(num_peers=8, config=KadopConfig(replication=1))
+    gen = DblpGenerator(seed=5, target_doc_bytes=4000)
+    for i, doc in enumerate(gen.documents(6)):
+        net.peers[i % 4].publish(doc, uri="d:%d" % i)
+    return net
+
+
+class TestNetworkStats:
+    def test_totals_match_stores(self, net):
+        stats = network_stats(net)
+        direct = sum(
+            node.store.total_postings() for node in net.net.alive_nodes()
+        )
+        assert stats.total_postings == direct
+        assert stats.total_terms > 10
+
+    def test_hot_terms_are_the_heavy_ones(self, net):
+        stats = network_stats(net, top_terms=5)
+        hot = {term for _, term in stats.hottest_terms}
+        assert "elem:author" in hot
+
+    def test_gini_reflects_skew(self, net):
+        stats = network_stats(net)
+        assert 0.0 <= stats.gini <= 1.0
+        # the DHT spreads terms but posting skew leaves imbalance
+        assert stats.max_over_mean >= 1.0
+
+    def test_gini_extremes(self):
+        even = NetworkStats(peers=[PeerLoad(i, postings=10) for i in range(4)])
+        assert even.gini == pytest.approx(0.0)
+        skewed = NetworkStats(
+            peers=[PeerLoad(0, postings=100)]
+            + [PeerLoad(i, postings=0) for i in range(1, 4)]
+        )
+        assert skewed.gini > 0.7
+        assert NetworkStats().gini == 0.0
+        assert NetworkStats().max_over_mean == 1.0
+
+    def test_dead_peers_excluded(self, net):
+        victim = next(
+            p for p in net.peers if not p.documents and p.node.alive
+        )
+        before = len(network_stats(net).peers)
+        net.net.remove_node(victim.node)
+        after = network_stats(net)
+        assert len(after.peers) == before - 1
+
+    def test_format(self, net):
+        text = network_stats(net).format()
+        assert "gini" in text and "hottest" in text
+
+    def test_cli_stats(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats"]) == 0
+        assert "load balance" in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Executes every python code block of docs/TUTORIAL.md.
+
+The tutorial's snippets share one namespace, in order, exactly as a reader
+following along would run them — so the document cannot drift from the
+actual API.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _blocks():
+    text = TUTORIAL.read_text()
+    return _BLOCK_RE.findall(text)
+
+
+def test_tutorial_has_blocks():
+    assert len(_blocks()) >= 6
+
+
+def test_tutorial_blocks_execute():
+    namespace = {}
+    for i, block in enumerate(_blocks()):
+        try:
+            exec(compile(block, "TUTORIAL.md block %d" % (i + 1), "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(
+                "tutorial block %d failed: %s\n%s" % (i + 1, exc, block)
+            )

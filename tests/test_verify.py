@@ -1,0 +1,67 @@
+"""Tests for the recall/precision verification utility."""
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.kadop.verify import oracle_answers, verify_query, verify_workload
+
+
+@pytest.fixture(scope="module")
+def net():
+    net = KadopNetwork.create(num_peers=6, config=KadopConfig(replication=1))
+    net.peers[0].publish(
+        "<lib><book><title>xml data</title></book></lib>", uri="u:0"
+    )
+    net.peers[1].publish(
+        "<lib><book><note>xml</note></book><title>loose</title></lib>", uri="u:1"
+    )
+    return net
+
+
+class TestVerifyQuery:
+    def test_exact_on_precise_query(self, net):
+        report = verify_query(net, "//book//title")
+        assert report.exact
+        assert report.recall_ok
+        assert report.distributed == report.expected == 1
+        assert report.index_precision == 1.0
+
+    def test_exact_on_wildcard_query(self, net):
+        # wildcard index queries are imprecise but the document phase
+        # restores exactness
+        report = verify_query(net, "//*//title")
+        assert report.exact
+
+    def test_strategies_verified(self, net):
+        for strategy in (None, "ab", "db", "bloom", "subquery", "auto"):
+            report = verify_query(net, "//lib//book", strategy=strategy)
+            assert report.exact, strategy
+
+    def test_workload_helper(self, net):
+        reports = verify_workload(
+            net, [("//book//title", ()), ("//lib//note", ())]
+        )
+        assert len(reports) == 2
+        assert all(r.exact for r in reports)
+
+    def test_oracle_counts_all_docs(self, net):
+        pattern = net.parse("//lib")
+        assert len(oracle_answers(net, pattern)) == 2
+
+    def test_repr_status(self, net):
+        report = verify_query(net, "//book//title")
+        assert "exact" in repr(report)
+
+    def test_detects_injected_index_loss(self):
+        """If index entries vanish without replication, verification
+        reports the recall violation (this is the diagnostic's purpose)."""
+        net = KadopNetwork.create(num_peers=5, config=KadopConfig(replication=1))
+        net.peers[0].publish("<a><b>x</b></a>", uri="u")
+        from repro.postings.term_relation import label_key
+
+        owner = net.net.owner_of(label_key("b"))
+        owner.store.delete(label_key("b"))  # simulate silent index loss
+        report = verify_query(net, "//a//b")
+        assert not report.recall_ok
+        assert report.missing and not report.spurious
