@@ -1,0 +1,24 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree package on PYTHONPATH; no install step needed.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test test-all bench-micro bench
+
+# tier-1 gate: unit + integration-differential suites
+test:
+	$(PY) -m pytest -x -q
+
+# everything, including the slow experiment regenerations
+test-all:
+	$(PY) -m pytest -q tests benchmarks
+
+# micro-benchmarks with the JSON trajectory recorded per PR; commit the
+# refreshed BENCH_micro.json alongside perf-relevant changes
+bench-micro:
+	$(PY) -m pytest benchmarks/test_micro.py --benchmark-only \
+		--benchmark-json=BENCH_micro.json
+
+# full benchmark harness (paper table/figure regenerations included)
+bench:
+	$(PY) -m pytest benchmarks --benchmark-only

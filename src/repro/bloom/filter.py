@@ -12,11 +12,22 @@ deterministic across runs.
 
 import math
 
+from hashlib import blake2b
+
 from repro.util.hashing import stable_hash
+
+_INT_TUPLE_FORMATS = {
+    n: b"(" + b",".join([b"i%d"] * n) + b")" for n in range(1, 9)
+}
 
 
 def _canonical_bytes(item):
     if isinstance(item, tuple):
+        # fast path: the filters hash small all-int tuples; one bytes
+        # %-format produces the identical serialization in one step
+        fmt = _INT_TUPLE_FORMATS.get(len(item))
+        if fmt is not None and all(type(part) is int for part in item):
+            return fmt % item
         return b"(" + b",".join(_canonical_bytes(part) for part in item) + b")"
     if isinstance(item, int):
         return b"i" + str(item).encode("ascii")
@@ -51,6 +62,10 @@ class BloomFilter:
         self.seed = seed
         self._vector = bytearray((bits + 7) // 8)
         self.inserted = 0
+        # precomputed BLAKE2 salts of the two seeded hash functions
+        # (identical values to stable_hash(..., seed=2*seed+1 / 2*seed+2))
+        self._salt1 = (seed * 2 + 1).to_bytes(8, "little")
+        self._salt2 = (seed * 2 + 2).to_bytes(8, "little")
 
     @classmethod
     def for_items(cls, expected_items, fp_rate, seed=0):
@@ -66,14 +81,68 @@ class BloomFilter:
             yield (h1 + i * h2) % self.bits
 
     def insert(self, item):
-        for pos in self._positions(item):
-            self._vector[pos >> 3] |= 1 << (pos & 7)
+        data = _canonical_bytes(item)
+        h1 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt1).digest(), "little"
+        )
+        h2 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt2).digest(), "little"
+        ) | 1
+        vector = self._vector
+        bits = self.bits
+        for i in range(self.hashes):
+            pos = (h1 + i * h2) % bits
+            vector[pos >> 3] |= 1 << (pos & 7)
         self.inserted += 1
 
-    def __contains__(self, item):
-        return all(
-            self._vector[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(item)
+    def insert_serialized(self, data):
+        """Insert an already-canonicalized byte string (batch kernels).
+
+        Does NOT bump ``inserted`` — bulk callers that dedupe replicas set
+        the true load themselves so sizing math stays honest."""
+        h1 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt1).digest(), "little"
         )
+        h2 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt2).digest(), "little"
+        ) | 1
+        vector = self._vector
+        bits = self.bits
+        for i in range(self.hashes):
+            pos = (h1 + i * h2) % bits
+            vector[pos >> 3] |= 1 << (pos & 7)
+
+    def contains_serialized(self, data):
+        """Membership test on an already-canonicalized byte string."""
+        h1 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt1).digest(), "little"
+        )
+        h2 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt2).digest(), "little"
+        ) | 1
+        vector = self._vector
+        bits = self.bits
+        for i in range(self.hashes):
+            pos = (h1 + i * h2) % bits
+            if not vector[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def __contains__(self, item):
+        data = _canonical_bytes(item)
+        h1 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt1).digest(), "little"
+        )
+        h2 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=self._salt2).digest(), "little"
+        ) | 1
+        vector = self._vector
+        bits = self.bits
+        for i in range(self.hashes):
+            pos = (h1 + i * h2) % bits
+            if not vector[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
 
     @property
     def size_bytes(self):

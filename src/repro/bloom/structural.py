@@ -40,6 +40,17 @@ from repro.bloom.filter import BloomFilter
 from repro.postings.plist import PostingList
 
 
+def _interval_rows(postings):
+    """Iterate ``(peer, doc, start, end)`` rows without building Postings.
+
+    Column-backed lists are walked directly; anything else falls back to
+    attribute access per element."""
+    if isinstance(postings, PostingList):
+        cols = postings.columns()
+        return zip(cols.peer, cols.doc, cols.start, cols.end)
+    return ((p.peer, p.doc, p.start, p.end) for p in postings)
+
+
 def psi(level, c):
     """The trace function ψ(j) = ceil(1 + j/c) of Section 5.1.
 
@@ -61,31 +72,51 @@ class AncestorBloomFilter:
     def __init__(self, postings, l=None, fp_rate=0.20, psi_c=4, seed=0, bits=None):
         self.psi_c = psi_c
         self.l = l if l is not None else _level_of_postings(postings)
-        items = list(self._items_of(postings))
+        self._psi = [psi(level, psi_c) for level in range(self.l + 1)]
+        # Build kernel: one pass over the raw columns, serializing each
+        # trace item once.  Replica items shared between postings (common
+        # cover intervals) are deduped before hashing — the resulting bit
+        # vector is identical (insertion is idempotent) and the true load
+        # is restored on ``inserted`` afterwards so sizing and fp-rate
+        # accounting see the same numbers as the per-item path.
+        l = self.l
+        psi_table = self._psi
+        dclev = 0
+        total = 0
+        seen = set()
+        add_seen = seen.add
+        unique = []
+        push = unique.append
+        for peer, doc, start, end in _interval_rows(postings):
+            for lo, hi in dyadic_cover(start, end, l):
+                level = (hi - lo + 1).bit_length() - 1
+                if level > dclev:
+                    dclev = level
+                traces = psi_table[level]
+                total += traces
+                for trace in range(traces):
+                    item = (peer, doc, lo, hi, trace)
+                    if item not in seen:
+                        add_seen(item)
+                        push(b"(i%d,i%d,i%d,i%d,i%d)" % item)
         if bits is not None:
-            hashes = max(1, round(bits / max(1, len(items)) * math.log(2)))
+            hashes = max(1, round(bits / max(1, total) * math.log(2)))
             self.filter = BloomFilter(bits, hashes, seed=seed)
         else:
-            self.filter = BloomFilter.for_items(len(items), fp_rate, seed=seed)
-        self.dclev = 0  # highest level present in D(L_a)
-        for item, level in items:
-            self.filter.insert(item)
-            if level > self.dclev:
-                self.dclev = level
+            self.filter = BloomFilter.for_items(total, fp_rate, seed=seed)
+        self.dclev = dclev  # highest level present in D(L_a)
+        insert = self.filter.insert_serialized
+        for data in unique:
+            insert(data)
+        self.filter.inserted = total
         self.source_size = len(postings)
-
-    def _items_of(self, postings):
-        for p in postings:
-            for interval in dyadic_cover(p.start, p.end, self.l):
-                level = interval_level(interval)
-                for trace in range(psi(level, self.psi_c)):
-                    yield (p.peer, p.doc, interval[0], interval[1], trace), level
 
     def _interval_present(self, peer, doc, interval):
         level = interval_level(interval)
+        contains = self.filter.contains_serialized
         return all(
-            (peer, doc, interval[0], interval[1], trace) in self.filter
-            for trace in range(psi(level, self.psi_c))
+            contains(b"(i%d,i%d,i%d,i%d,i%d)" % (peer, doc, interval[0], interval[1], trace))
+            for trace in range(self._psi[level])
         )
 
     def may_have_ancestor(self, posting, or_self=True):
@@ -123,9 +154,74 @@ class AncestorBloomFilter:
         return False
 
     def filter_postings(self, postings, point_probe=False):
-        """The sublist ``F(b, ABF(a))`` of postings that may join."""
-        probe = self.may_have_ancestor_point if point_probe else self.may_have_ancestor
-        return PostingList([p for p in postings if probe(p)], presorted=True)
+        """The sublist ``F(b, ABF(a))`` of postings that may join.
+
+        Column-backed lists run through a batch kernel: the probe walks the
+        raw columns (no Posting objects), and interval decisions are
+        memoized per call — distinct postings overwhelmingly share cover
+        intervals and dyadic containers, so most probes collapse to a dict
+        hit instead of ``k`` BLAKE2 evaluations."""
+        if not isinstance(postings, PostingList):
+            probe = (
+                self.may_have_ancestor_point if point_probe else self.may_have_ancestor
+            )
+            return PostingList([p for p in postings if probe(p)], presorted=True)
+        cols = postings.columns()
+        l = self.l
+        limit = 1 << l
+        dclev = self.dclev
+        psi_table = self._psi
+        contains = self.filter.contains_serialized
+        covered_cache = {}
+        present_cache = {}
+        keep = []
+        push = keep.append
+
+        def covered(peer, doc, lo, hi):
+            ckey = (peer, doc, lo, hi)
+            hit = covered_cache.get(ckey)
+            if hit is None:
+                hit = False
+                for clo, chi in dyadic_containers(lo, hi, l):
+                    level = (chi - clo + 1).bit_length() - 1
+                    if level > dclev:
+                        break  # no wider interval was ever inserted
+                    pkey = (peer, doc, clo, chi)
+                    present = present_cache.get(pkey)
+                    if present is None:
+                        present = True
+                        for trace in range(psi_table[level]):
+                            if not contains(
+                                b"(i%d,i%d,i%d,i%d,i%d)" % (peer, doc, clo, chi, trace)
+                            ):
+                                present = False
+                                break
+                        present_cache[pkey] = present
+                    if present:
+                        hit = True
+                        break
+                covered_cache[ckey] = hit
+            return hit
+
+        n = len(cols)
+        if point_probe:
+            for i, peer, doc, start in zip(
+                range(n), cols.peer, cols.doc, cols.start
+            ):
+                if start <= limit and covered(peer, doc, start, start):
+                    push(i)
+        else:
+            for i, peer, doc, start, end in zip(
+                range(n), cols.peer, cols.doc, cols.start, cols.end
+            ):
+                if end > limit:
+                    continue
+                for lo, hi in dyadic_cover(start, end, l):
+                    if not covered(peer, doc, lo, hi):
+                        break
+                else:
+                    push(i)
+        return PostingList._adopt(cols.select(keep))
 
     @property
     def size_bytes(self):
@@ -137,14 +233,35 @@ class DescendantBloomFilter:
 
     def __init__(self, postings, l=None, fp_rate=0.01, seed=0):
         self.l = l if l is not None else _level_of_postings(postings)
-        items = []
-        for p in postings:
-            start = min(p.start, 1 << self.l)
-            for interval in point_chain(start, self.l):
-                items.append((p.peer, p.doc, interval[0], interval[1]))
-        self.filter = BloomFilter.for_items(len(items), fp_rate, seed=seed)
-        for item in items:
-            self.filter.insert(item)
+        limit = 1 << self.l
+        chains = {}  # start point -> its container chain (shared across docs)
+        # Same batch-build shape as the AB filter: chain items shared
+        # between start points (wide high-level containers) are hashed
+        # once; the bit vector is unchanged and ``inserted`` keeps the
+        # true per-posting load.
+        total = 0
+        seen = set()
+        add_seen = seen.add
+        unique = []
+        push = unique.append
+        for peer, doc, start, _end in _interval_rows(postings):
+            if start > limit:
+                start = limit
+            chain = chains.get(start)
+            if chain is None:
+                chain = point_chain(start, self.l)
+                chains[start] = chain
+            total += len(chain)
+            for lo, hi in chain:
+                item = (peer, doc, lo, hi)
+                if item not in seen:
+                    add_seen(item)
+                    push(b"(i%d,i%d,i%d,i%d)" % item)
+        self.filter = BloomFilter.for_items(total, fp_rate, seed=seed)
+        insert = self.filter.insert_serialized
+        for data in unique:
+            insert(data)
+        self.filter.inserted = total
         self.source_size = len(postings)
 
     def may_have_descendant(self, posting, or_self=False):
@@ -162,11 +279,43 @@ class DescendantBloomFilter:
         return False
 
     def filter_postings(self, postings, or_self=False):
-        """The sublist ``F(a, DBF(b))`` of postings that may join."""
-        return PostingList(
-            [p for p in postings if self.may_have_descendant(p, or_self=or_self)],
-            presorted=True,
-        )
+        """The sublist ``F(a, DBF(b))`` of postings that may join.
+
+        Column-backed lists run through a batch kernel mirroring the AB
+        filter's: raw column walk plus per-call memoization of interval
+        memberships shared between postings."""
+        if not isinstance(postings, PostingList):
+            return PostingList(
+                [p for p in postings if self.may_have_descendant(p, or_self=or_self)],
+                presorted=True,
+            )
+        cols = postings.columns()
+        l = self.l
+        limit = 1 << l
+        interior = 0 if or_self else 1
+        contains = self.filter.contains_serialized
+        member_cache = {}
+        keep = []
+        push = keep.append
+        for i, peer, doc, start, end in zip(
+            range(len(cols)), cols.peer, cols.doc, cols.start, cols.end
+        ):
+            lo = start + interior
+            hi = end - interior
+            if hi > limit:
+                hi = limit
+            if lo > hi:
+                continue
+            for ilo, ihi in dyadic_cover(lo, hi, l):
+                key = (peer, doc, ilo, ihi)
+                hit = member_cache.get(key)
+                if hit is None:
+                    hit = contains(b"(i%d,i%d,i%d,i%d)" % key)
+                    member_cache[key] = hit
+                if hit:
+                    push(i)
+                    break
+        return PostingList._adopt(cols.select(keep))
 
     @property
     def size_bytes(self):
@@ -175,6 +324,8 @@ class DescendantBloomFilter:
 
 def _level_of_postings(postings):
     """Domain size: enough levels to cover the largest end tag seen."""
+    if isinstance(postings, PostingList):
+        return level_for(max(1, postings.max_end()))
     max_end = 1
     for p in postings:
         if p.end > max_end:

@@ -1,0 +1,490 @@
+"""Columnar (struct-of-arrays) posting storage and its batch kernels.
+
+The per-object representation — one :class:`~repro.postings.posting.Posting`
+NamedTuple per element — dominates the CPU cost of every hot path: the
+publisher's batched appends, DPP block splits and fetches, the TwigStack
+join streams, the Structural Bloom Filter probes, and the byte-accurate
+codec.  This module stores a posting list instead as five parallel
+``array('q')`` columns (``peer, doc, start, end, level``) and provides the
+batch kernels the rest of the system composes:
+
+* O(n+m) two-pointer merge + dedup (:meth:`PostingColumns.merge`);
+* a fused ``extend_sorted`` that appends in O(m) when the incoming batch
+  sorts after the existing data (the common publishing case) and falls
+  back to the linear merge otherwise;
+* galloping (exponential-search) bounds for ``range``/``doc_range``
+  extraction (:meth:`PostingColumns.gallop_left`/``gallop_right``);
+* zero-object streaming encode/decode that reads and writes the
+  delta-compressed varint wire format directly from/into the columns
+  (:meth:`PostingColumns.wire_values`, :meth:`PostingColumns.encode`,
+  :meth:`PostingColumns.decode`).
+
+Postings materialize into :class:`Posting` objects only at the edges —
+when user code iterates a list or a twig-join binding is emitted.  The
+columns are kept in the paper's lexicographic ``(p, d, sid)`` order,
+duplicate-free, exactly like :class:`~repro.postings.plist.PostingList`
+(which is now a thin facade over this core).
+"""
+
+from array import array
+
+from repro.postings.posting import Posting
+
+
+def _as_q(values):
+    return array("q", values)
+
+
+class PostingColumns:
+    """Five parallel signed-64-bit columns holding one sorted posting list."""
+
+    __slots__ = ("peer", "doc", "start", "end", "level")
+
+    def __init__(self, peer=None, doc=None, start=None, end=None, level=None):
+        self.peer = peer if peer is not None else array("q")
+        self.doc = doc if doc is not None else array("q")
+        self.start = start if start is not None else array("q")
+        self.end = end if end is not None else array("q")
+        self.level = level if level is not None else array("q")
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def normalize_rows(rows, presorted=False):
+        """Sorted, duplicate-free row list from arbitrary 5-field rows.
+
+        Sorts unless ``presorted`` (which instead validates the order, as
+        the ``PostingList(presorted=True)`` contract requires) and drops
+        exact duplicates either way.
+        """
+        items = rows if isinstance(rows, list) else list(rows)
+        if not presorted:
+            items = sorted(items)
+        deduped = []
+        push = deduped.append
+        prev = None
+        if presorted:
+            for row in items:
+                if prev is not None and prev > row:
+                    raise ValueError("postings not in (p,d,sid) order")
+                if row != prev:
+                    push(row)
+                    prev = row
+        else:
+            for row in items:
+                if row != prev:
+                    push(row)
+                    prev = row
+        return deduped
+
+    @classmethod
+    def from_rows(cls, rows, presorted=False):
+        """Build columns from an iterable of 5-field rows (Posting/tuple)."""
+        return cls._from_sorted_unique(cls.normalize_rows(rows, presorted))
+
+    @classmethod
+    def _from_sorted_unique(cls, items):
+        """Transpose an already sorted, duplicate-free row list."""
+        if not items:
+            return cls()
+        peer, doc, start, end, level = zip(*items)
+        return cls(_as_q(peer), _as_q(doc), _as_q(start), _as_q(end), _as_q(level))
+
+    def copy(self):
+        return PostingColumns(
+            self.peer[:], self.doc[:], self.start[:], self.end[:], self.level[:]
+        )
+
+    # -- container basics ---------------------------------------------------
+
+    def __len__(self):
+        return len(self.peer)
+
+    def __eq__(self, other):
+        if isinstance(other, PostingColumns):
+            return (
+                self.peer == other.peer
+                and self.doc == other.doc
+                and self.start == other.start
+                and self.end == other.end
+                and self.level == other.level
+            )
+        return NotImplemented
+
+    def key(self, i):
+        """The full ``(p, d, start, end, level)`` sort key of row ``i``."""
+        return (self.peer[i], self.doc[i], self.start[i], self.end[i], self.level[i])
+
+    def posting(self, i):
+        return Posting(
+            self.peer[i], self.doc[i], self.start[i], self.end[i], self.level[i]
+        )
+
+    def postings(self):
+        """Materialize the whole list as :class:`Posting` objects."""
+        return list(
+            map(
+                Posting._make,
+                zip(self.peer, self.doc, self.start, self.end, self.level),
+            )
+        )
+
+    def rows(self):
+        """Iterate raw ``(p, d, s, e, l)`` tuples without Posting objects."""
+        return zip(self.peer, self.doc, self.start, self.end, self.level)
+
+    def slice(self, i, j):
+        """Contiguous sub-range ``[i, j)`` as fresh columns (C memcpy)."""
+        return PostingColumns(
+            self.peer[i:j],
+            self.doc[i:j],
+            self.start[i:j],
+            self.end[i:j],
+            self.level[i:j],
+        )
+
+    def select(self, indexes):
+        """Rows at ``indexes`` (increasing) as fresh columns."""
+        peer, doc, start, end, level = (
+            self.peer,
+            self.doc,
+            self.start,
+            self.end,
+            self.level,
+        )
+        return PostingColumns(
+            _as_q([peer[i] for i in indexes]),
+            _as_q([doc[i] for i in indexes]),
+            _as_q([start[i] for i in indexes]),
+            _as_q([end[i] for i in indexes]),
+            _as_q([level[i] for i in indexes]),
+        )
+
+    # -- point mutation (cold paths) ---------------------------------------
+
+    def insert_row(self, i, row):
+        p, d, s, e, l = row
+        self.peer.insert(i, p)
+        self.doc.insert(i, d)
+        self.start.insert(i, s)
+        self.end.insert(i, e)
+        self.level.insert(i, l)
+
+    def delete_row(self, i):
+        del self.peer[i]
+        del self.doc[i]
+        del self.start[i]
+        del self.end[i]
+        del self.level[i]
+
+    # -- search kernels -----------------------------------------------------
+
+    def bisect_left(self, key, lo=0, hi=None):
+        """First index whose row key is ``>= key`` (5-tuple compare)."""
+        if hi is None:
+            hi = len(self.peer)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if self.key(mid) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def bisect_right(self, key, lo=0, hi=None):
+        """First index whose row key is ``> key``."""
+        if hi is None:
+            hi = len(self.peer)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if key < self.key(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def gallop_left(self, key, lo=0):
+        """Galloping :meth:`bisect_left` starting from index ``lo``.
+
+        Exponential search doubles the probe distance until the key is
+        bracketed, then binary-searches the bracket: O(log d) for a match
+        ``d`` rows from ``lo``, which is what makes short range extractions
+        out of long lists (DPP ``[min, max]`` filtering) cheap.
+        """
+        n = len(self.peer)
+        if lo >= n or self.key(lo) >= key:
+            return lo
+        step = 1
+        while lo + step < n and self.key(lo + step) < key:
+            step <<= 1
+        return self.bisect_left(key, lo + (step >> 1) + 1, min(lo + step, n))
+
+    def gallop_right(self, key, lo=0):
+        """Galloping :meth:`bisect_right` starting from index ``lo``."""
+        n = len(self.peer)
+        if lo >= n or self.key(lo) > key:
+            return lo
+        step = 1
+        while lo + step < n and self.key(lo + step) <= key:
+            step <<= 1
+        return self.bisect_right(key, lo + (step >> 1) + 1, min(lo + step, n))
+
+    # -- merge kernels ------------------------------------------------------
+
+    def merge(self, other):
+        """O(n+m) two-pointer ordered union with dedup; returns new columns."""
+        if not len(other):
+            return self.copy()
+        if not len(self):
+            return other.copy()
+        # disjoint fast path: pure concatenation
+        if other.key(0) > self.key(len(self) - 1):
+            out = self.copy()
+            out.extend_cols(other)
+            return out
+        if self.key(0) > other.key(len(other) - 1):
+            out = other.copy()
+            out.extend_cols(self)
+            return out
+        rows = []
+        push = rows.append
+        ita = self.rows()
+        itb = other.rows()
+        a = next(ita)
+        b = next(itb)
+        prev = None
+        while True:
+            if a <= b:
+                if a != prev:
+                    push(a)
+                    prev = a
+                a = next(ita, None)
+                if a is None:
+                    if b != prev:
+                        push(b)
+                    rows.extend(itb)
+                    break
+            else:
+                if b != prev:
+                    push(b)
+                    prev = b
+                b = next(itb, None)
+                if b is None:
+                    if a != prev:
+                        push(a)
+                    rows.extend(ita)
+                    break
+        return PostingColumns._from_sorted_unique(rows)
+
+    def extend_cols(self, other):
+        """Blind column append (caller guarantees order and uniqueness)."""
+        self.peer.extend(other.peer)
+        self.doc.extend(other.doc)
+        self.start.extend(other.start)
+        self.end.extend(other.end)
+        self.level.extend(other.level)
+
+    def extend_sorted(self, other):
+        """Fused bulk insert of sorted, deduped ``other`` (mutates self).
+
+        O(m) append when the batch sorts strictly after the existing data
+        — the common publishing case — otherwise one O(n+m) merge pass.
+        """
+        if not len(other):
+            return
+        if not len(self) or other.key(0) > self.key(len(self) - 1):
+            self.extend_cols(other)
+            return
+        merged = self.merge(other)
+        self.peer = merged.peer
+        self.doc = merged.doc
+        self.start = merged.start
+        self.end = merged.end
+        self.level = merged.level
+
+    # -- derived views ------------------------------------------------------
+
+    def doc_ids(self):
+        """Ordered, duplicate-free ``(peer, doc)`` pairs."""
+        out = []
+        push = out.append
+        prev = None
+        for pd in zip(self.peer, self.doc):
+            if pd != prev:
+                push(pd)
+                prev = pd
+        return out
+
+    def max_end(self):
+        """Largest ``end`` tag position, or 0 when empty (filter sizing)."""
+        return max(self.end) if len(self.end) else 0
+
+    # -- wire format kernels ------------------------------------------------
+    #
+    # Layout (see repro.postings.encoder):
+    #   count, then per posting: delta(peer), delta-or-abs(doc),
+    #   delta-or-abs(start), end-start, level — deltas reset when a more
+    #   significant field changes.
+
+    def wire_values(self):
+        """The flat integer sequence of the wire format, deltas applied.
+
+        Single source of truth for the codec: ``encode`` emits these as
+        varints and ``encoded_size`` sums their varint widths, so the two
+        can never disagree.
+        """
+        vals = [len(self.peer)]
+        push = vals.append
+        prev_peer = prev_doc = prev_start = 0
+        for p, d, s, e, l in zip(self.peer, self.doc, self.start, self.end, self.level):
+            dpeer = p - prev_peer
+            push(dpeer)
+            if dpeer:
+                prev_doc = prev_start = 0
+            ddoc = d - prev_doc
+            push(ddoc)
+            if ddoc:
+                prev_start = 0
+            push(s - prev_start)
+            push(e - s)
+            push(l)
+            prev_peer = p
+            prev_doc = d
+            prev_start = s
+        return vals
+
+    def encode(self):
+        """Serialize straight from the columns; no Posting objects."""
+        out = bytearray()
+        push = out.append
+        for v in self.wire_values():
+            if v < 0x80:
+                push(v)
+            else:
+                while v >= 0x80:
+                    push((v & 0x7F) | 0x80)
+                    v >>= 7
+                push(v)
+        return bytes(out)
+
+    def encoded_size(self):
+        """Exact ``len(self.encode())`` without building the bytes."""
+        return sum(((v.bit_length() + 6) // 7) or 1 for v in self.wire_values())
+
+    @classmethod
+    def decode(cls, data, offset=0):
+        """Parse the wire format directly into columns.
+
+        Returns ``(PostingColumns, next_offset)``.  The inverse of
+        :meth:`encode`; decoding materializes zero Posting objects.
+        """
+        peer = array("q")
+        doc = array("q")
+        start = array("q")
+        end = array("q")
+        level = array("q")
+        push_peer = peer.append
+        push_doc = doc.append
+        push_start = start.append
+        push_end = end.append
+        push_level = level.append
+        pos = offset
+        try:
+            # count
+            v = data[pos]
+            pos += 1
+            if v & 0x80:
+                v &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    v |= (b & 0x7F) << shift
+                    if not b & 0x80:
+                        break
+                    shift += 7
+            count = v
+            cur_peer = cur_doc = cur_start = 0
+            for _ in range(count):
+                # delta(peer)
+                v = data[pos]
+                pos += 1
+                if v & 0x80:
+                    v &= 0x7F
+                    shift = 7
+                    while True:
+                        b = data[pos]
+                        pos += 1
+                        v |= (b & 0x7F) << shift
+                        if not b & 0x80:
+                            break
+                        shift += 7
+                if v:
+                    cur_peer += v
+                    cur_doc = cur_start = 0
+                # delta-or-abs(doc)
+                v = data[pos]
+                pos += 1
+                if v & 0x80:
+                    v &= 0x7F
+                    shift = 7
+                    while True:
+                        b = data[pos]
+                        pos += 1
+                        v |= (b & 0x7F) << shift
+                        if not b & 0x80:
+                            break
+                        shift += 7
+                if v:
+                    cur_doc += v
+                    cur_start = 0
+                # delta-or-abs(start)
+                v = data[pos]
+                pos += 1
+                if v & 0x80:
+                    v &= 0x7F
+                    shift = 7
+                    while True:
+                        b = data[pos]
+                        pos += 1
+                        v |= (b & 0x7F) << shift
+                        if not b & 0x80:
+                            break
+                        shift += 7
+                cur_start += v
+                # end - start
+                v = data[pos]
+                pos += 1
+                if v & 0x80:
+                    v &= 0x7F
+                    shift = 7
+                    while True:
+                        b = data[pos]
+                        pos += 1
+                        v |= (b & 0x7F) << shift
+                        if not b & 0x80:
+                            break
+                        shift += 7
+                span = v
+                # level
+                v = data[pos]
+                pos += 1
+                if v & 0x80:
+                    v &= 0x7F
+                    shift = 7
+                    while True:
+                        b = data[pos]
+                        pos += 1
+                        v |= (b & 0x7F) << shift
+                        if not b & 0x80:
+                            break
+                        shift += 7
+                push_peer(cur_peer)
+                push_doc(cur_doc)
+                push_start(cur_start)
+                push_end(cur_start + span)
+                push_level(v)
+        except IndexError:
+            # report the position reached, like the per-varint decoder did
+            raise ValueError("truncated uvarint at offset %d" % pos) from None
+        return cls(peer, doc, start, end, level), pos

@@ -14,30 +14,34 @@ Layout::
 Fields are delta-encoded against the previous posting while the more
 significant fields are unchanged, which is where the compression comes
 from: within one document, consecutive postings differ mostly in ``start``.
+
+Both :func:`encode_postings` and :func:`encoded_size` are derived from the
+single delta kernel in :mod:`repro.postings.columnar`
+(:meth:`~repro.postings.columnar.PostingColumns.wire_values`), so the
+accounted size can never drift from the actual encoding; decoding streams
+the bytes straight into columns without materializing a single
+:class:`Posting`.
 """
 
-from repro.postings.posting import Posting
+from repro.postings.columnar import PostingColumns
 from repro.postings.plist import PostingList
-from repro.util.varint import decode_uvarint, encode_uvarint, uvarint_size
+
+
+def _columns_of(postings):
+    if isinstance(postings, PostingList):
+        return postings.columns()
+    if isinstance(postings, PostingColumns):
+        return postings
+    # raw iterables arrive sorted on this path (wire contract); trust the
+    # order like the previous encoder did rather than re-sorting
+    return PostingColumns._from_sorted_unique(
+        postings if isinstance(postings, list) else list(postings)
+    )
 
 
 def encode_postings(postings):
     """Encode an iterable of sorted postings to bytes."""
-    items = list(postings)
-    out = bytearray(encode_uvarint(len(items)))
-    prev_peer = prev_doc = prev_start = 0
-    for p in items:
-        out += encode_uvarint(p.peer - prev_peer)
-        if p.peer != prev_peer:
-            prev_doc = prev_start = 0
-        out += encode_uvarint(p.doc - prev_doc)
-        if p.doc != prev_doc:
-            prev_start = 0
-        out += encode_uvarint(p.start - prev_start)
-        out += encode_uvarint(p.end - p.start)
-        out += encode_uvarint(p.level)
-        prev_peer, prev_doc, prev_start = p.peer, p.doc, p.start
-    return bytes(out)
+    return _columns_of(postings).encode()
 
 
 def decode_postings(data, offset=0):
@@ -45,43 +49,14 @@ def decode_postings(data, offset=0):
 
     Returns ``(PostingList, next_offset)``.
     """
-    count, pos = decode_uvarint(data, offset)
-    items = []
-    peer = doc = start = 0
-    for _ in range(count):
-        dpeer, pos = decode_uvarint(data, pos)
-        peer += dpeer
-        if dpeer:
-            doc = start = 0
-        ddoc, pos = decode_uvarint(data, pos)
-        doc += ddoc
-        if ddoc:
-            start = 0
-        dstart, pos = decode_uvarint(data, pos)
-        start += dstart
-        span, pos = decode_uvarint(data, pos)
-        level, pos = decode_uvarint(data, pos)
-        items.append(Posting(peer, doc, start, start + span, level))
-    return PostingList(items, presorted=True), pos
+    cols, pos = PostingColumns.decode(data, offset)
+    return PostingList._adopt(cols), pos
 
 
 def encoded_size(postings):
     """Byte size of :func:`encode_postings` output, without building it.
 
-    Used on hot accounting paths; must agree exactly with the encoder.
+    Used on hot accounting paths; must agree exactly with the encoder —
+    guaranteed structurally, since both walk the same wire-value kernel.
     """
-    items = postings.items() if isinstance(postings, PostingList) else list(postings)
-    size = uvarint_size(len(items))
-    prev_peer = prev_doc = prev_start = 0
-    for p in items:
-        size += uvarint_size(p.peer - prev_peer)
-        if p.peer != prev_peer:
-            prev_doc = prev_start = 0
-        size += uvarint_size(p.doc - prev_doc)
-        if p.doc != prev_doc:
-            prev_start = 0
-        size += uvarint_size(p.start - prev_start)
-        size += uvarint_size(p.end - p.start)
-        size += uvarint_size(p.level)
-        prev_peer, prev_doc, prev_start = p.peer, p.doc, p.start
-    return size
+    return _columns_of(postings).encoded_size()

@@ -6,62 +6,84 @@ order the paper prescribes.  It supports the operations the rest of the
 system needs: ordered insertion (publishing), range extraction (DPP block
 splits and ``[min, max]`` document filtering), merging, and iteration in
 stream order (twig join inputs).
+
+Storage is columnar: the list body lives in a
+:class:`~repro.postings.columnar.PostingColumns` struct-of-arrays core and
+the batch kernels (merge, galloping range extraction, streaming codec)
+operate on the columns directly.  :class:`Posting` objects are
+materialized lazily — only when callers iterate, index, or filter by
+predicate — and cached, so repeated iteration stays cheap while the hot
+paths never pay for per-posting object construction.
 """
 
-import bisect
-
+from repro.postings.columnar import PostingColumns
 from repro.postings.posting import Posting
 
 
 class PostingList:
     """A sorted, duplicate-free list of :class:`Posting` for one term."""
 
-    __slots__ = ("_items",)
+    __slots__ = ("_cols", "_cache")
 
     def __init__(self, postings=(), presorted=False):
-        items = list(postings)
-        if not presorted:
-            items.sort()
+        if isinstance(postings, PostingColumns):
+            self._cols = postings.copy()
+            self._cache = None
+        elif isinstance(postings, PostingList):
+            self._cols = postings._cols.copy()
+            self._cache = postings._cache
         else:
-            for i in range(1, len(items)):
-                if items[i - 1] > items[i]:
-                    raise ValueError("postings not in (p,d,sid) order")
-        deduped = []
-        for p in items:
-            if not deduped or deduped[-1] != p:
-                deduped.append(p)
-        self._items = deduped
+            rows = PostingColumns.normalize_rows(postings, presorted=presorted)
+            self._cols = PostingColumns._from_sorted_unique(rows)
+            self._cache = rows
+
+    @classmethod
+    def _adopt(cls, cols):
+        """Wrap freshly built columns without copying (internal)."""
+        pl = cls.__new__(cls)
+        pl._cols = cols
+        pl._cache = None
+        return pl
+
+    def columns(self):
+        """The columnar core (read-only by convention; batch kernels)."""
+        return self._cols
 
     # -- container protocol -----------------------------------------------
 
     def __len__(self):
-        return len(self._items)
+        return len(self._cols)
 
     def __iter__(self):
-        return iter(self._items)
+        return iter(self.items())
 
     def __getitem__(self, idx):
-        result = self._items[idx]
         if isinstance(idx, slice):
-            return PostingList(result, presorted=True)
-        return result
+            i, j, step = idx.indices(len(self._cols))
+            if step == 1:
+                return PostingList._adopt(self._cols.slice(i, j))
+            return PostingList._adopt(self._cols.select(range(i, j, step)))
+        return self._cols.posting(idx)
 
     def __contains__(self, posting):
-        i = bisect.bisect_left(self._items, posting)
-        return i < len(self._items) and self._items[i] == posting
+        key = tuple(posting)
+        cols = self._cols
+        i = cols.bisect_left(key)
+        return i < len(cols) and cols.key(i) == key
 
     def __eq__(self, other):
         if isinstance(other, PostingList):
-            return self._items == other._items
+            return self._cols == other._cols
         return NotImplemented
 
     def __repr__(self):
-        if len(self._items) <= 4:
-            return "PostingList(%r)" % (self._items,)
+        items = self.items()
+        if len(items) <= 4:
+            return "PostingList(%r)" % (items,)
         return "PostingList(<%d postings, %r..%r>)" % (
-            len(self._items),
-            self._items[0],
-            self._items[-1],
+            len(items),
+            items[0],
+            items[-1],
         )
 
     # -- mutation ----------------------------------------------------------
@@ -70,33 +92,36 @@ class PostingList:
         """Insert ``posting`` keeping order; ignores exact duplicates."""
         if not isinstance(posting, Posting):
             posting = Posting(*posting)
-        i = bisect.bisect_left(self._items, posting)
-        if i < len(self._items) and self._items[i] == posting:
+        cols = self._cols
+        i = cols.bisect_left(posting)
+        if i < len(cols) and cols.key(i) == tuple(posting):
             return False
-        self._items.insert(i, posting)
+        cols.insert_row(i, posting)
+        self._cache = None
         return True
 
     def extend(self, postings):
-        """Bulk insert; more efficient than repeated :meth:`add`."""
-        incoming = sorted(postings)
-        if not incoming:
-            return
-        if not self._items or incoming[0] > self._items[-1]:
-            # common publishing case: postings arrive in increasing order
-            merged = self._items + incoming
+        """Bulk insert; one O(n+m) merge pass (or O(m) append when the
+        incoming batch sorts after the existing data)."""
+        if isinstance(postings, PostingList):
+            incoming = postings._cols
+        elif isinstance(postings, PostingColumns):
+            incoming = postings
         else:
-            merged = sorted(self._items + incoming)
-        deduped = []
-        for p in merged:
-            if not deduped or deduped[-1] != p:
-                deduped.append(p)
-        self._items = deduped
+            incoming = PostingColumns.from_rows(postings)
+        if not len(incoming):
+            return
+        self._cols.extend_sorted(incoming)
+        self._cache = None
 
     def remove(self, posting):
         """Delete ``posting``; returns True if it was present."""
-        i = bisect.bisect_left(self._items, posting)
-        if i < len(self._items) and self._items[i] == posting:
-            del self._items[i]
+        key = tuple(posting)
+        cols = self._cols
+        i = cols.bisect_left(key)
+        if i < len(cols) and cols.key(i) == key:
+            cols.delete_row(i)
+            self._cache = None
             return True
         return False
 
@@ -104,62 +129,67 @@ class PostingList:
 
     @property
     def first(self):
-        return self._items[0] if self._items else None
+        return self._cols.posting(0) if len(self._cols) else None
 
     @property
     def last(self):
-        return self._items[-1] if self._items else None
+        return self._cols.posting(-1) if len(self._cols) else None
 
     def range(self, lo, hi):
-        """Postings ``p`` with ``lo <= p <= hi`` (inclusive bounds)."""
-        i = bisect.bisect_left(self._items, lo)
-        j = bisect.bisect_right(self._items, hi)
-        return PostingList(self._items[i:j], presorted=True)
+        """Postings ``p`` with ``lo <= p <= hi`` (inclusive bounds).
+
+        Bounds are located by galloping search, so extracting a short run
+        out of a long list costs O(log distance), not O(log n) + copy-all.
+        """
+        cols = self._cols
+        i = cols.gallop_left(tuple(lo))
+        j = cols.gallop_right(tuple(hi), i)
+        return PostingList._adopt(cols.slice(i, j))
 
     def doc_range(self, lo_doc, hi_doc):
         """Postings whose ``(peer, doc)`` lies in ``[lo_doc, hi_doc]``."""
-        i = bisect.bisect_left(self._items, (lo_doc[0], lo_doc[1], -1, -1, -1))
-        j = bisect.bisect_right(
-            self._items, (hi_doc[0], hi_doc[1], 2**63, 2**63, 2**63)
-        )
-        return PostingList(self._items[i:j], presorted=True)
+        cols = self._cols
+        i = cols.gallop_left((lo_doc[0], lo_doc[1], -1, -1, -1))
+        j = cols.gallop_right((hi_doc[0], hi_doc[1], 2**63, 2**63, 2**63), i)
+        return PostingList._adopt(cols.slice(i, j))
 
     def doc_ids(self):
         """Ordered, duplicate-free list of ``(peer, doc)`` pairs."""
-        seen = []
-        for p in self._items:
-            did = (p.peer, p.doc)
-            if not seen or seen[-1] != did:
-                seen.append(did)
-        return seen
+        return self._cols.doc_ids()
+
+    def max_end(self):
+        """Largest ``end`` position in the list (0 when empty)."""
+        return self._cols.max_end()
 
     def split_at(self, index):
         """Split into two PostingLists at ``index`` (for DPP block splits)."""
+        cols = self._cols
         return (
-            PostingList(self._items[:index], presorted=True),
-            PostingList(self._items[index:], presorted=True),
+            PostingList._adopt(cols.slice(0, index)),
+            PostingList._adopt(cols.slice(index, len(cols))),
         )
 
     def chunks(self, size):
         """Yield consecutive PostingLists of at most ``size`` entries."""
         if size < 1:
             raise ValueError("chunk size must be >= 1")
-        for i in range(0, len(self._items), size):
-            yield PostingList(self._items[i : i + size], presorted=True)
+        cols = self._cols
+        for i in range(0, len(cols), size):
+            yield PostingList._adopt(cols.slice(i, i + size))
 
     def filter(self, predicate):
         """New list with only postings satisfying ``predicate``."""
-        return PostingList(
-            [p for p in self._items if predicate(p)], presorted=True
-        )
+        kept = [p for p in self.items() if predicate(p)]
+        return PostingList._adopt(PostingColumns._from_sorted_unique(kept))
 
     def merge(self, other):
-        """Ordered union of two posting lists."""
-        result = PostingList([], presorted=True)
-        result._items = list(self._items)
-        result.extend(other)
-        return result
+        """Ordered union of two posting lists (does not mutate either)."""
+        if isinstance(other, PostingList):
+            return PostingList._adopt(self._cols.merge(other._cols))
+        return PostingList._adopt(self._cols.merge(PostingColumns.from_rows(other)))
 
     def items(self):
-        """The underlying (immutable by convention) sorted list."""
-        return self._items
+        """The postings as a (cached, immutable by convention) sorted list."""
+        if self._cache is None:
+            self._cache = self._cols.postings()
+        return self._cache

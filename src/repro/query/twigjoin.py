@@ -19,45 +19,83 @@ to keep TwigStack complete for those axes (it is only *optimal* for pure
 ``//`` patterns, as in the original paper).
 """
 
+from repro.postings.columnar import PostingColumns
+from repro.postings.plist import PostingList
+from repro.postings.posting import Posting
 from repro.query.pattern import Axis
 
 _INF_KEY = (float("inf"), float("inf"), float("inf"))
 
 
-def _start_key(posting):
-    return (posting.peer, posting.doc, posting.start)
-
-
-def _end_key(posting):
-    return (posting.peer, posting.doc, posting.end)
-
-
 class _Stream:
-    """Cursor over one node's sorted posting list."""
+    """Columnar cursor over one node's sorted posting list.
 
-    __slots__ = ("items", "pos")
+    The stream reads the struct-of-arrays columns directly; sort keys are
+    built once per cursor position (cached, invalidated by ``advance``) and
+    a :class:`Posting` is materialized only for the postings that actually
+    get pushed on a stack — skipped postings never become objects.
+    """
 
-    def __init__(self, items):
-        self.items = items
+    __slots__ = ("peer", "doc", "start", "end", "level", "n", "pos", "_skey", "_ekey")
+
+    def __init__(self, postings):
+        if isinstance(postings, PostingList):
+            cols = postings.columns()
+        elif isinstance(postings, PostingColumns):
+            cols = postings
+        else:
+            # trust the caller's (p, d, sid) stream order, duplicates kept —
+            # same contract as joining over raw posting iterables before
+            cols = PostingColumns._from_sorted_unique(list(postings))
+        self.peer = cols.peer
+        self.doc = cols.doc
+        self.start = cols.start
+        self.end = cols.end
+        self.level = cols.level
+        self.n = len(cols)
         self.pos = 0
+        self._skey = None
+        self._ekey = None
 
     def cur(self):
-        return self.items[self.pos] if self.pos < len(self.items) else None
+        pos = self.pos
+        if pos >= self.n:
+            return None
+        return Posting(
+            self.peer[pos], self.doc[pos], self.start[pos], self.end[pos],
+            self.level[pos],
+        )
 
     def cur_start_key(self):
-        cur = self.cur()
-        return _start_key(cur) if cur is not None else _INF_KEY
+        key = self._skey
+        if key is None:
+            pos = self.pos
+            if pos >= self.n:
+                key = _INF_KEY
+            else:
+                key = (self.peer[pos], self.doc[pos], self.start[pos])
+            self._skey = key
+        return key
 
     def cur_end_key(self):
-        cur = self.cur()
-        return _end_key(cur) if cur is not None else _INF_KEY
+        key = self._ekey
+        if key is None:
+            pos = self.pos
+            if pos >= self.n:
+                key = _INF_KEY
+            else:
+                key = (self.peer[pos], self.doc[pos], self.end[pos])
+            self._ekey = key
+        return key
 
     def advance(self):
         self.pos += 1
+        self._skey = None
+        self._ekey = None
 
     @property
     def eof(self):
-        return self.pos >= len(self.items)
+        return self.pos >= self.n
 
 
 class _StackEntry:
@@ -78,12 +116,42 @@ class TwigJoin:
         if missing:
             raise ValueError("no stream for pattern nodes %r" % (missing,))
         self.streams = {
-            n.node_id: _Stream(list(streams[n.node_id])) for n in self.nodes
+            n.node_id: _Stream(streams[n.node_id]) for n in self.nodes
         }
+        # leaf streams per subtree: exhaustion checks reduce to eof scans
+        self._leaf_streams = {}
+        for node in self.nodes:
+            leaves = self._leaf_streams[node.node_id] = []
+            frontier = [node]
+            while frontier:
+                cur = frontier.pop()
+                if cur.is_leaf:
+                    leaves.append(self.streams[cur.node_id])
+                else:
+                    frontier.extend(cur.children)
         self.stacks = {n.node_id: [] for n in self.nodes}
         self.path_solutions = {
             n.node_id: [] for n in self.nodes if n.is_leaf
         }
+        # root..leaf node path per leaf, hoisted out of the emit hot path
+        self._paths = {}
+        for node in self.nodes:
+            if node.is_leaf:
+                path = []
+                cur = node
+                while cur is not None:
+                    path.append(cur)
+                    cur = cur.parent
+                path.reverse()
+                self._paths[node.node_id] = path
+        # chain patterns (every node has at most one child) run through an
+        # unrolled, allocation-free version of the TwigStack loop
+        node = pattern.root
+        chain = [node]
+        while len(node.children) == 1:
+            node = node.children[0]
+            chain.append(node)
+        self._chain = chain if not node.children else None
         self.postings_consumed = 0
 
     # -- TwigStack ----------------------------------------------------------
@@ -95,31 +163,36 @@ class TwigJoin:
         ``_get_next`` skips it; the main loop ends when the whole pattern is
         exhausted (the ``end(q)`` condition of the original algorithm).
         """
-        if q.is_leaf:
-            return self.streams[q.node_id].eof
-        return all(self._exhausted(c) for c in q.children)
+        return all(s.pos >= s.n for s in self._leaf_streams[q.node_id])
 
     def _get_next(self, q):
         if q.is_leaf:
             return q
-        alive = [c for c in q.children if not self._exhausted(c)]
+        leaf_streams = self._leaf_streams
+        alive = [
+            c
+            for c in q.children
+            if any(s.pos < s.n for s in leaf_streams[c.node_id])
+        ]
         for child in alive:
             result = self._get_next(child)
             if result is not child:
                 return result
-        nmin = min(alive, key=lambda c: self.streams[c.node_id].cur_start_key())
-        nmax = max(alive, key=lambda c: self.streams[c.node_id].cur_start_key())
-        sq = self.streams[q.node_id]
-        nmax_start = self.streams[nmax.node_id].cur_start_key()
+        streams = self.streams
+        keys = [streams[c.node_id].cur_start_key() for c in alive]
+        nmax_start = max(keys)
+        nmin_start = min(keys)
+        sq = streams[q.node_id]
         # postings of q ending before every remaining nmax-branch posting
-        # starts cannot take part in any new solution: skip them.
-        while sq.cur() is not None and sq.cur_end_key() < nmax_start:
+        # starts cannot take part in any new solution: skip them.  At eof
+        # the cursor keys are +inf, which ends the skip and fails the
+        # `<= nmin_start` test, so no separate eof checks are needed.
+        while sq.cur_end_key() < nmax_start:
             sq.advance()
             self.postings_consumed += 1
-        nmin_start = self.streams[nmin.node_id].cur_start_key()
-        if sq.cur() is not None and sq.cur_start_key() <= nmin_start:
+        if sq.cur_start_key() <= nmin_start:
             return q
-        return nmin
+        return alive[keys.index(nmin_start)]
 
     def _clean_stack(self, node, posting):
         stack = self.stacks[node.node_id]
@@ -136,6 +209,8 @@ class TwigJoin:
 
     def run(self):
         """Execute the join; returns the list of full-match binding dicts."""
+        if self._chain is not None:
+            return self._run_chain()
         root = self.pattern.root
         while not self._exhausted(root):
             q = self._get_next(root)
@@ -163,13 +238,91 @@ class TwigJoin:
                 self.postings_consumed += 1
         return self._merge_path_solutions()
 
+    def _run_chain(self):
+        """The TwigStack loop unrolled for root-to-leaf chain patterns.
+
+        Behaviourally identical to the generic loop — same skip decisions,
+        same stack events in the same order, same ``postings_consumed`` —
+        but without per-iteration recursion, list building, or min/max
+        over a single-element candidate set.
+        """
+        chain = self._chain
+        depth = len(chain)
+        streams = [self.streams[n.node_id] for n in chain]
+        stacks = [self.stacks[n.node_id] for n in chain]
+        leaf = chain[-1]
+        leaf_stream = streams[-1]
+        leaf_idx = depth - 1
+        consumed = 0
+        emit = self._emit_path_solutions
+        while leaf_stream.pos < leaf_stream.n:
+            # _get_next, bottom-up: the decision closest to the leaf wins
+            q_idx = leaf_idx
+            for qi in range(depth - 2, -1, -1):
+                if q_idx != qi + 1:
+                    break
+                child_start = streams[qi + 1].cur_start_key()
+                sq = streams[qi]
+                while sq.cur_end_key() < child_start:
+                    sq.advance()
+                    consumed += 1
+                q_idx = qi if sq.cur_start_key() <= child_start else qi + 1
+            stream = streams[q_idx]
+            posting = stream.cur()
+            if posting is None:  # q itself drained; only descendants remain
+                break
+            peer, doc, start = posting.peer, posting.doc, posting.start
+            if q_idx > 0:
+                pstack = stacks[q_idx - 1]
+                while pstack:
+                    top = pstack[-1].posting
+                    if top.peer != peer or top.doc != doc or top.end < start:
+                        pstack.pop()
+                    else:
+                        break
+            if q_idx == 0 or stacks[q_idx - 1]:
+                stack = stacks[q_idx]
+                while stack:
+                    top = stack[-1].posting
+                    if top.peer != peer or top.doc != doc or top.end < start:
+                        stack.pop()
+                    else:
+                        break
+                parent_ptr = len(stacks[q_idx - 1]) - 1 if q_idx > 0 else -1
+                stack.append(_StackEntry(posting, parent_ptr))
+                stream.advance()
+                consumed += 1
+                if q_idx == leaf_idx:
+                    emit(leaf)
+                    stack.pop()
+            else:
+                stream.advance()
+                consumed += 1
+        self.postings_consumed += consumed
+        return self._merge_path_solutions()
+
     def _emit_path_solutions(self, leaf):
-        path = []
-        node = leaf
-        while node is not None:
-            path.append(node)
-            node = node.parent
-        path.reverse()  # root .. leaf
+        path = self._paths[leaf.node_id]
+        stacks = self.stacks
+        if len(path) == 1:
+            # the leaf is the root: every pushed posting is a solution
+            entry = stacks[leaf.node_id][-1]
+            self.path_solutions[leaf.node_id].append({leaf.node_id: entry.posting})
+            return
+        if len(path) == 2:
+            # root//leaf chain: scan the root stack prefix directly
+            root = path[0]
+            admits = path[1].axis.admits
+            entry = stacks[leaf.node_id][-1]
+            leaf_posting = entry.posting
+            root_stack = stacks[root.node_id]
+            out = self.path_solutions[leaf.node_id]
+            root_id, leaf_id = root.node_id, leaf.node_id
+            for i in range(entry.parent_ptr + 1):
+                root_posting = root_stack[i].posting
+                if admits(root_posting, leaf_posting):
+                    out.append({root_id: root_posting, leaf_id: leaf_posting})
+            return
 
         def expand(depth, idx):
             """Yield partial binding lists for path[:depth+1] ending at
@@ -225,11 +378,15 @@ class TwigJoin:
             merged, merged_keys = next_merged, merged_keys | leaf_keys
         if merged is None:
             return []
+        # every merged solution binds the same node set, so one key order
+        # serves both dedup and the lexicographic output sort
+        keys = sorted(merged_keys)
         unique = {}
+        setdefault = unique.setdefault
         for sol in merged:
-            unique.setdefault(tuple(sorted(sol.items())), sol)
+            setdefault(tuple(sol[k] for k in keys), sol)
         result = list(unique.values())
-        result.sort(key=lambda sol: tuple(sol[k] for k in sorted(sol)))
+        result.sort(key=lambda sol: tuple(sol[k] for k in keys))
         return result
 
 

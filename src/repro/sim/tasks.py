@@ -91,25 +91,33 @@ class Scheduler:
                 dependents[dep.seq].append(task)
 
         free = dict(self._capacity)
-        ready = [t for t in self._tasks if not remaining_deps[t.seq]]
-        ready.sort(key=lambda t: t.seq)
+        # Ready queue is a min-heap keyed by seq: newly unblocked tasks are
+        # pushed in O(log n) instead of re-sorting the whole list at every
+        # event.  The start scan pops in seq order — exactly the order the
+        # sorted-list implementation used — so schedules are byte-identical.
+        ready = [t.seq for t in self._tasks if not remaining_deps[t.seq]]
+        heapq.heapify(ready)
         running = []  # heap of (finish_time, seq, task)
         now = 0.0
         completed = 0
 
         def try_start():
             nonlocal ready
-            still_waiting = []
-            for task in ready:
+            blocked = []
+            while ready:
+                seq = heapq.heappop(ready)
+                task = by_seq[seq]
                 if all(free[r] > 0 for r in task.resources):
                     for r in task.resources:
                         free[r] -= 1
                     task.start = now
                     task.finish = now + task.duration
-                    heapq.heappush(running, (task.finish, task.seq, task))
+                    heapq.heappush(running, (task.finish, seq, task))
                 else:
-                    still_waiting.append(task)
-            ready = still_waiting
+                    blocked.append(seq)
+            # ``blocked`` was produced in increasing seq order, so it is
+            # already a valid min-heap
+            ready = blocked
 
         try_start()
         while running:
@@ -124,8 +132,7 @@ class Scheduler:
                 for child in dependents[task.seq]:
                     remaining_deps[child.seq] -= 1
                     if not remaining_deps[child.seq]:
-                        ready.append(child)
-            ready.sort(key=lambda t: t.seq)
+                        heapq.heappush(ready, child.seq)
             try_start()
 
         if completed != len(self._tasks):
