@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all bench-micro bench
+.PHONY: test test-all bench-micro bench bench-views
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -22,3 +22,7 @@ bench-micro:
 # full benchmark harness (paper table/figure regenerations included)
 bench:
 	$(PY) -m pytest benchmarks --benchmark-only
+
+# materialized-view warmup crossover (repro.views)
+bench-views:
+	$(PY) -m pytest benchmarks/test_view_warmup.py --benchmark-only

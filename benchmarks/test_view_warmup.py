@@ -1,0 +1,12 @@
+"""Materialized views — cold/warm crossover on a Zipfian repeated-query stream."""
+
+from repro.experiments import view_warmup
+
+
+def test_view_warmup_crossover(experiment):
+    experiment(
+        view_warmup.run,
+        view_warmup.format_rows,
+        view_warmup.check_shape,
+        "Materialized views: repeated-query warmup",
+    )

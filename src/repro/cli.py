@@ -32,6 +32,7 @@ def _registry():
         store_ablation,
         table1_dyadic,
         traffic,
+        view_warmup,
     )
 
     return {
@@ -107,6 +108,12 @@ def _registry():
             optimizer_eval.check_shape,
             "Strategy optimizer vs. fixed strategies",
         ),
+        "views": (
+            view_warmup.run,
+            view_warmup.format_rows,
+            view_warmup.check_shape,
+            "Materialized views: repeated-query warmup crossover",
+        ),
     }
 
 
@@ -167,16 +174,23 @@ def cmd_run(args):
 
 
 def cmd_stats(_args):
-    """Publish a small corpus and print the index load statistics."""
+    """Publish a small corpus, run a repeated query, print load stats."""
     from repro.kadop.config import KadopConfig
     from repro.kadop.stats import network_stats
     from repro.kadop.system import KadopNetwork
     from repro.workloads.dblp import DblpGenerator
 
-    net = KadopNetwork.create(num_peers=12, config=KadopConfig(replication=1))
+    config = KadopConfig(
+        replication=1, use_views=True, view_auto_materialize_after=2
+    )
+    net = KadopNetwork.create(num_peers=12, config=config)
     gen = DblpGenerator(seed=1, target_doc_bytes=8_000)
     for i, doc in enumerate(gen.documents(10)):
         net.peers[i % 6].publish(doc, uri="d:%d" % i)
+    # a hot query: the repeats cross the threshold, materialize a view, and
+    # the remaining runs hit it — so the view counters below are non-zero
+    for i in range(4):
+        net.query("//article//author", peer=net.peers[i % 12])
     print(network_stats(net).format())
     return 0
 

@@ -59,6 +59,20 @@ class KadopConfig:
                                DHT's replicas ("transferring fragments from
                                different copies")
 
+    Materialized views (:mod:`repro.views` — the caching layer Section 8
+    gestures at with "reusing previously computed results"):
+
+    ``use_views``                    consult the view rewriter before the
+                                     index phase
+    ``view_block_entries``           answer-block capacity before a split
+    ``view_auto_materialize_after``  popularity threshold (queries of one
+                                     canonical pattern) that triggers
+                                     auto-materialization; None disables
+    ``view_cost_based``              compare the view's stored bytes with
+                                     the optimizer's base-index estimate
+                                     and only serve from the view when it
+                                     is cheaper (False forces view use)
+
     DHT:
 
     ``replication``      copies per key (fixed factor, set at network start)
@@ -90,6 +104,11 @@ class KadopConfig:
 
     striped_replica_fetch: bool = False
 
+    use_views: bool = False
+    view_block_entries: int = 512
+    view_auto_materialize_after: int = None
+    view_cost_based: bool = True
+
     replication: int = 2
     leaf_size: int = 8
     overlay: str = "pastry"
@@ -110,6 +129,13 @@ class KadopConfig:
             raise ConfigError("unknown filter strategy %r" % self.filter_strategy)
         if self.parallelism < 1:
             raise ConfigError("parallelism must be >= 1")
+        if self.view_block_entries < 1:
+            raise ConfigError("view_block_entries must be >= 1")
+        if (
+            self.view_auto_materialize_after is not None
+            and self.view_auto_materialize_after < 1
+        ):
+            raise ConfigError("view_auto_materialize_after must be >= 1 or None")
         if self.chunk_postings < 1:
             raise ConfigError("chunk_postings must be >= 1")
         if not 0 < self.ab_fp_rate < 1 or not 0 < self.db_fp_rate < 1:

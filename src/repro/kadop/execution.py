@@ -65,6 +65,9 @@ class QueryReport:
     complete: bool = True  # False if a document peer timed out (Section 3)
     timed_out_peers: int = 0
     block_vectors: int = 0  # meaningful block vectors joined (Section 4.2)
+    view_hit: bool = False  # index phase answered from a materialized view
+    view_id: str = None  # id of the serving view
+    view_materialized: bool = False  # this query triggered materialization
 
     @property
     def total_bytes(self):
@@ -98,6 +101,38 @@ class QueryExecutor:
 
         plan = build_index_plan(pattern)
         report.precise = plan.precise
+
+        view_outcome = (
+            system.views.pre_query(pattern, plan, src_peer)
+            if system.views is not None
+            else None
+        )
+        if view_outcome is not None and view_outcome.served:
+            # the view hands us the candidate documents directly; the
+            # document phase below runs unchanged, so answers are identical
+            # to base evaluation (and exact views restore precision even
+            # for plans the index evaluates imprecisely — their documents
+            # come from verified answers, not from index postings)
+            report.view_hit = True
+            report.view_id = view_outcome.view_id
+            report.view_materialized = view_outcome.materialized
+            report.precise = view_outcome.exact
+            report.postings_fetched = view_outcome.postings
+            report.index_time_s = view_outcome.time_s
+            report.time_to_first_s = view_outcome.ttfa_s
+            candidate_docs = set(view_outcome.docs)
+            report.candidate_docs = len(candidate_docs)
+            answers, doc_time, timed_out = self._document_phase(
+                pattern, src_peer, candidate_docs
+            )
+            report.timed_out_peers = timed_out
+            report.complete = timed_out == 0
+            report.doc_time_s = doc_time
+            report.response_time_s = report.index_time_s + doc_time
+            report.time_to_first_s += doc_time
+            report.traffic = meter.delta_since(snapshot)
+            return answers, report
+        view_overhead = view_outcome.overhead_s if view_outcome else 0.0
 
         strategy = strategy if strategy is not None else config.filter_strategy
         candidate_docs = set()
@@ -184,6 +219,10 @@ class QueryExecutor:
             if not candidate_docs:
                 break
 
+        # the rewriter consult (and any failed materialization) happened
+        # before the index fetches, so it adds serially
+        report.index_time_s += view_overhead
+        report.time_to_first_s += view_overhead
         report.candidate_docs = len(candidate_docs)
         answers, doc_time, timed_out = self._document_phase(
             pattern, src_peer, candidate_docs

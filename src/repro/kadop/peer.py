@@ -52,6 +52,8 @@ class KadopPeer:
         )
         if document.is_intensional:
             self.system.fundex_register(self, doc_index, document)
+        if self.system.views is not None:
+            self.system.views.on_publish(self, doc_index, document)
         return receipt
 
     def unpublish(self, doc_index):
@@ -65,6 +67,8 @@ class KadopPeer:
         document = self.documents.pop(doc_index, None)
         if document is None:
             raise KeyError("peer %d has no document %d" % (self.index, doc_index))
+        if self.system.views is not None:
+            self.system.views.on_unpublish(self, doc_index, document)
         publisher = self.system.publisher
         extracted = extract_postings(
             document,

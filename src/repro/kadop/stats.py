@@ -18,6 +18,8 @@ class PeerLoad:
     terms: int = 0
     documents: int = 0
     objects: int = 0
+    view_blocks: int = 0  # materialized-view answer blocks held here
+    view_bytes: int = 0  # encoded bytes of those blocks
 
 
 @dataclass
@@ -28,6 +30,10 @@ class NetworkStats:
     total_postings: int = 0
     total_terms: int = 0
     hottest_terms: list = field(default_factory=list)  # (count, term)
+    views: int = 0  # materialized views in the catalog
+    view_hits: int = 0
+    view_misses: int = 0
+    view_bytes: int = 0  # total view-block storage
 
     @property
     def gini(self):
@@ -64,6 +70,20 @@ class NetworkStats:
         ]
         for count, term in self.hottest_terms:
             lines.append("  %8d  %s" % (count, term))
+        if self.views or self.view_hits or self.view_misses:
+            served = self.view_hits + self.view_misses
+            rate = self.view_hits / served if served else 0.0
+            lines.append(
+                "views: %d materialized   %d bytes stored   hits/misses: %d/%d"
+                " (%.0f%% hit rate)"
+                % (
+                    self.views,
+                    self.view_bytes,
+                    self.view_hits,
+                    self.view_misses,
+                    100.0 * rate,
+                )
+            )
         return "\n".join(lines)
 
 
@@ -77,6 +97,13 @@ def network_stats(system, top_terms=8):
         load = PeerLoad(peer_index=peer.index)
         store = peer.node.store
         for term in store.terms():
+            if term.startswith("viewblk:"):
+                # view answer blocks are cache, not index: tallied apart
+                from repro.postings.encoder import encoded_size
+
+                load.view_blocks += 1
+                load.view_bytes += encoded_size(store.get(term))
+                continue
             count = store.count(term)
             load.postings += count
             load.terms += 1
@@ -91,4 +118,12 @@ def network_stats(system, top_terms=8):
     stats.hottest_terms = sorted(
         ((count, term) for term, count in term_counts.items()), reverse=True
     )[:top_terms]
+    views = getattr(system, "views", None)
+    if views is not None:
+        stats.view_hits = views.hits
+        stats.view_misses = views.misses
+        stats.views = sum(
+            1 for v in views.catalog().values() if v.materialized
+        )
+        stats.view_bytes = sum(load.view_bytes for load in stats.peers)
     return stats

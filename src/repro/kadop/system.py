@@ -65,6 +65,9 @@ class KadopNetwork:
         self.optimizer = StrategyOptimizer(self)
         self.fundex = FundexIndex(self)
         self.executor = QueryExecutor(self)
+        from repro.views.manager import ViewManager
+
+        self.views = ViewManager(self) if self.config.use_views else None
         self.peers = []
         self._resources = {}  # uri -> xml text (the "web" of includable data)
 

@@ -19,6 +19,8 @@ class TrafficMeter:
     ``control``    DHT control traffic: routing envelopes, DPP root blocks,
                    condition lists, acknowledgements
     ``documents``  final query answers shipped from document peers
+    ``views``      materialized-view answer blocks (query-time fetches and
+                   incremental maintenance deltas; :mod:`repro.views`)
     """
 
     def __init__(self):

@@ -1,0 +1,131 @@
+"""View-based rewriting: pattern embedding and the view-vs-base choice.
+
+A materialized view V can answer a query Q when V *subsumes* Q at the
+document level: every document holding a match of Q also holds a match of
+V, so the view's cached document set is a complete candidate set for Q.
+The sufficient condition implemented here is the classic tree-pattern
+homomorphism (Miklau & Suciu's containment fragment): a mapping h from V's
+nodes into Q's nodes that preserves node tests and weakens axes —
+
+* a label node maps to a node with the same label; ``*`` maps to anything;
+  a word node maps to the same word; a value condition on V must reappear
+  verbatim on the image;
+* a child edge of V maps to a child edge of Q;
+* a descendant edge maps to any downward Q-path that guarantees *proper*
+  descent (at least one ``/`` or ``//`` edge on the path — ``.//`` edges,
+  used for ``contains`` word nodes, admit self);
+* a descendant-or-self edge maps to any downward path, including self.
+
+The test is sound but not complete (no disjunction reasoning), which is the
+right trade-off for a rewriter: a missed rewriting costs performance, a
+wrong one would cost answers.  When V is strictly more general than Q the
+document phase — which always evaluates Q exactly on every candidate —
+acts as the compensation filter, so answers never change.
+"""
+
+from repro.query.pattern import Axis
+
+
+def subsumes(view_pattern, query_pattern):
+    """True if every document matching ``query_pattern`` also matches
+    ``view_pattern`` (so the view's documents cover the query's)."""
+    vroot = view_pattern.root
+    qnodes = query_pattern.nodes()
+    if vroot.axis is Axis.CHILD:
+        # an absolute view (/a) only covers absolute queries on the root
+        qroot = query_pattern.root
+        return qroot.axis is Axis.CHILD and _maps_to(vroot, qroot)
+    return any(_maps_to(vroot, qnode) for qnode in qnodes)
+
+
+def _node_compatible(vnode, qnode):
+    if vnode.is_word:
+        if not (qnode.is_word and vnode.word == qnode.word):
+            return False
+    elif not vnode.is_wildcard:
+        if qnode.is_word or qnode.label != vnode.label:
+            return False
+    if vnode.value_equals is not None and qnode.value_equals != vnode.value_equals:
+        return False
+    return True
+
+
+def _maps_to(vnode, qnode):
+    """Can the subtree of ``vnode`` embed at ``qnode``?"""
+    if not _node_compatible(vnode, qnode):
+        return False
+    for vchild in vnode.children:
+        if not any(
+            _maps_to(vchild, target)
+            for target in _axis_targets(vchild.axis, qnode)
+        ):
+            return False
+    return True
+
+
+def _axis_targets(axis, qnode):
+    """Q-nodes a V-child with ``axis`` may map to, below ``qnode``."""
+    if axis is Axis.CHILD:
+        return [c for c in qnode.children if c.axis is Axis.CHILD]
+    targets = []
+    stack = [(c, c.axis is not Axis.DESCENDANT_OR_SELF) for c in qnode.children]
+    while stack:
+        node, proper = stack.pop()
+        # DESCENDANT requires guaranteed proper descent; DESCENDANT_OR_SELF
+        # accepts any downward path
+        if proper or axis is Axis.DESCENDANT_OR_SELF:
+            targets.append(node)
+        stack.extend(
+            (c, proper or c.axis is not Axis.DESCENDANT_OR_SELF)
+            for c in node.children
+        )
+    return targets
+
+
+def equivalent(view_pattern, query_pattern):
+    """Document-level equivalence (containment both ways)."""
+    return subsumes(view_pattern, query_pattern) and subsumes(
+        query_pattern, view_pattern
+    )
+
+
+def pick_view(candidates):
+    """The cheapest usable view: fewest stored bytes, id as tie-break."""
+    return min(candidates, key=lambda v: (v.total_bytes, v.view_id))
+
+
+def view_beats_base(view, plan, optimizer, src_peer):
+    """The cost-based choice: is serving from ``view`` cheaper than the
+    base index?
+
+    Materialized views carry the base cost their materializing run measured
+    (``view.base_bytes``), so the usual decision is free.  For records
+    without the cached statistic the optimizer's statistics round is run
+    live (and charged).  Returns ``(view_wins, stats_time_s)``."""
+    if view.base_bytes is not None:
+        return view.total_bytes < view.base_bytes, 0.0
+    base, stats_s = base_index_bytes(plan, optimizer, src_peer)
+    return view.total_bytes < base, stats_s
+
+
+def base_index_bytes(plan, optimizer, src_peer):
+    """Estimated wire bytes of answering from the base Term index.
+
+    Uses the strategy optimizer's statistics round (charged as control
+    traffic, like ``filter_strategy="auto"``); the estimate is the best
+    strategy's, so views only win when they beat the optimizer's best
+    base-index plan.  Returns ``(bytes_estimate, stats_time_s)``.
+    """
+    total = 0.0
+    slowest = 0.0
+    for component in plan.components:
+        stats, stats_time = optimizer.gather_stats(component, src_peer)
+        slowest = max(slowest, stats_time)
+        if len(component) == 1:
+            total += sum(s.wire_bytes for s in stats.values())
+            continue
+        if any(s.postings == 0 for s in stats.values()):
+            continue
+        estimates = optimizer.estimate_all(component, stats)
+        total += min(estimates.values())
+    return total, slowest

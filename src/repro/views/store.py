@@ -1,0 +1,245 @@
+"""Clustered storage of materialized view answers in the DHT.
+
+A view's answer postings (the root bindings of every document matching the
+view pattern) are kept in ``(p, d, sid)`` order and cut into blocks of at
+most ``view_block_entries`` postings, each stored under its own pseudo-key
+``viewblk:<seq>:<view_id>`` — the DPP's block layout, reused: the DHT
+scatters the blocks over peers, fetches run with degree-K parallelism, and
+blocks that overflow under maintenance split in two exactly like DPP data
+blocks.  Postings travel in the standard delta-varint codec, and every
+transfer is metered under the dedicated ``views`` traffic category so
+experiments can separate cache traffic from base-index traffic.
+"""
+
+from repro.dht.network import OpReceipt
+from repro.postings.encoder import encoded_size
+from repro.postings.plist import PostingList
+from repro.sim.tasks import Scheduler
+from repro.views.definition import ViewBlock, block_key
+
+#: traffic-meter category for view fetch and maintenance transfers
+VIEW_TRAFFIC = "views"
+
+
+class ViewBlockStore:
+    """Reads and writes one network's view answer blocks."""
+
+    def __init__(self, system):
+        self.system = system
+
+    @property
+    def net(self):
+        return self.system.net
+
+    @property
+    def max_block_entries(self):
+        return self.system.config.view_block_entries
+
+    # -- materialization -------------------------------------------------------
+
+    def write_blocks(self, src_node, view, postings):
+        """Store ``postings`` as fresh clustered blocks of ``view``.
+
+        Used once per materialization; returns an :class:`OpReceipt` whose
+        duration covers routing each block to its holder (blocks ship in
+        parallel: the makespan is scheduled over egress/ingress links)."""
+        postings = (
+            postings
+            if isinstance(postings, PostingList)
+            else PostingList(postings)
+        )
+        receipt = OpReceipt()
+        scheduler = Scheduler()
+        egress = scheduler.add_resource("egress", 1)  # one materializing peer
+        chunks = (
+            list(postings.chunks(self.max_block_entries)) if len(postings) else []
+        )
+        for chunk in chunks:
+            seq = view.new_seq()
+            key = block_key(view.view_id, seq)
+            holder, hops = self.net.route(src_node, key)
+            payload = encoded_size(chunk)
+            self.net.meter.record(VIEW_TRAFFIC, payload * max(1, hops))
+            receipt.hops += hops
+            receipt.request_bytes += payload * max(1, hops)
+            before = holder.store.stats.snapshot()
+            holder.store.append(key, chunk)
+            store_s = holder.store.stats.delta_since(before).cost_seconds(
+                self.net.cost
+            )
+            ingress = "ingress:%d" % holder.peer_index
+            if not scheduler.has_resource(ingress):
+                scheduler.add_resource(ingress, 1)
+            scheduler.add_task(
+                "viewblk:%d" % seq,
+                self.net.cost.transfer_time(payload, hops=max(1, hops)) + store_s,
+                resources=(egress, ingress),
+            )
+            view.blocks.append(
+                ViewBlock(
+                    key,
+                    chunk.first.doc_id,
+                    chunk.last.doc_id,
+                    len(chunk),
+                    payload,
+                )
+            )
+        receipt.duration_s += scheduler.run()
+        return receipt
+
+    # -- incremental maintenance ------------------------------------------------
+
+    def append(self, src_node, view, postings):
+        """Route a publish delta into the view's blocks (splitting on
+        overflow), keeping the catalog's ranges/counts current."""
+        postings = (
+            postings
+            if isinstance(postings, PostingList)
+            else PostingList(postings)
+        )
+        receipt = OpReceipt()
+        if not len(postings):
+            return receipt
+        if not view.blocks:
+            return receipt.merge(self.write_blocks(src_node, view, postings))
+        groups = {}
+        for posting in postings:
+            block = view.target_block(posting.doc_id)
+            groups.setdefault(block.key, (block, []))[1].append(posting)
+        for block, group in groups.values():
+            receipt.merge(self._append_to_block(src_node, view, block, group))
+        return receipt
+
+    def _append_to_block(self, src_node, view, block, group):
+        receipt = OpReceipt()
+        holder, hops = self.net.route(src_node, block.key)
+        payload = encoded_size(group)
+        self.net.meter.record(VIEW_TRAFFIC, payload * max(1, hops))
+        receipt.hops += hops
+        receipt.request_bytes += payload * max(1, hops)
+        receipt.duration_s += self.net.cost.transfer_time(payload, hops=max(1, hops))
+        before = holder.store.stats.snapshot()
+        holder.store.append(block.key, group)
+        receipt.duration_s += holder.store.stats.delta_since(before).cost_seconds(
+            self.net.cost
+        )
+        self._refresh_block(holder, block, group)
+        if holder.store.count(block.key) > self.max_block_entries:
+            receipt.merge(self._split_block(src_node, view, block, holder))
+        return receipt
+
+    def _refresh_block(self, holder, block, group):
+        lo, hi = min(group).doc_id, max(group).doc_id
+        block.lo_doc = lo if block.lo_doc is None else min(block.lo_doc, lo)
+        block.hi_doc = hi if block.hi_doc is None else max(block.hi_doc, hi)
+        block.count = holder.store.count(block.key)
+        block.nbytes = encoded_size(holder.store.get(block.key))
+
+    def _split_block(self, src_node, view, block, holder):
+        """Split an overfull block; the upper half moves to a fresh key.
+
+        Recurses while either half still exceeds the block size — a single
+        maintenance delta can overflow a block by more than 2x."""
+        receipt = OpReceipt()
+        data = holder.store.get(block.key)
+        lower, upper = data.split_at(len(data) // 2)
+        holder.store.delete(block.key)
+        holder.store.append(block.key, lower)
+        block.lo_doc = lower.first.doc_id
+        block.hi_doc = lower.last.doc_id
+        block.count = len(lower)
+        block.nbytes = encoded_size(lower)
+
+        seq = view.new_seq()
+        new_key = block_key(view.view_id, seq)
+        new_holder, hops = self.net.route(src_node, new_key)
+        payload = encoded_size(upper)
+        self.net.meter.record(VIEW_TRAFFIC, payload * max(1, hops))
+        receipt.request_bytes += payload * max(1, hops)
+        receipt.duration_s += self.net.cost.transfer_time(payload, hops=max(1, hops))
+        before = new_holder.store.stats.snapshot()
+        new_holder.store.append(new_key, upper)
+        receipt.duration_s += new_holder.store.stats.delta_since(
+            before
+        ).cost_seconds(self.net.cost)
+        new_block = ViewBlock(
+            new_key,
+            upper.first.doc_id,
+            upper.last.doc_id,
+            len(upper),
+            payload,
+        )
+        view.blocks.insert(view.blocks.index(block) + 1, new_block)
+        if len(lower) > self.max_block_entries:
+            receipt.merge(self._split_block(src_node, view, block, holder))
+        if len(upper) > self.max_block_entries:
+            receipt.merge(
+                self._split_block(src_node, view, new_block, new_holder)
+            )
+        return receipt
+
+    def delete_doc(self, src_node, view, doc_id, postings):
+        """Remove an unpublished document's postings from the view.
+
+        ``postings`` are the exact root postings the document contributed
+        (recomputed locally by the withdrawing peer).  Returns the number
+        removed."""
+        removed = 0
+        receipt = OpReceipt()
+        for block in view.blocks:
+            if block.lo_doc is not None and (
+                doc_id < block.lo_doc or doc_id > block.hi_doc
+            ):
+                continue
+            holder, hops = self.net.route(src_node, block.key)
+            self.net.meter.record(VIEW_TRAFFIC, 32 * max(1, hops))
+            receipt.duration_s += self.net.cost.transfer_time(32, hops=max(1, hops))
+            changed = 0
+            for posting in postings:
+                if holder.store.delete(block.key, posting):
+                    changed += 1
+            if changed:
+                removed += changed
+                block.count = holder.store.count(block.key)
+                remaining = holder.store.get(block.key)
+                block.nbytes = encoded_size(remaining)
+                if len(remaining):
+                    block.lo_doc = remaining.first.doc_id
+                    block.hi_doc = remaining.last.doc_id
+        return removed, receipt
+
+    # -- query-time fetch --------------------------------------------------------
+
+    def fetch_all(self, src_node, view):
+        """Bring every block of ``view`` to the query peer, in parallel.
+
+        Returns ``(postings, makespan_s, first_block_s, total_bytes)``;
+        transfers are scheduled degree-K parallel over per-holder egress
+        links and the query peer's ingress, like DPP block fetches."""
+        scheduler = Scheduler()
+        ingress = scheduler.add_resource(
+            "ingress", self.system.config.parallelism
+        )
+        merged = PostingList()
+        first = None
+        total_bytes = 0
+        for block in view.blocks:
+            holder = self.net.owner_of(block.key)
+            postings = holder.store.get(block.key)
+            payload = encoded_size(postings)
+            self.net.meter.record(VIEW_TRAFFIC, payload)
+            total_bytes += payload
+            merged = merged.merge(postings)
+            duration = self.net.cost.disk_read_time(
+                payload
+            ) + self.net.cost.transfer_time(payload, hops=1)
+            egress = "egress:%d" % holder.peer_index
+            if not scheduler.has_resource(egress):
+                scheduler.add_resource(egress, 1)
+            scheduler.add_task(
+                "viewfetch:%s" % block.key, duration, resources=(egress, ingress)
+            )
+            if first is None:
+                first = duration
+        makespan = scheduler.run()
+        return merged, makespan, first or 0.0, total_bytes

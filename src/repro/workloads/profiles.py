@@ -97,3 +97,94 @@ def generate_profile_document(profile, element_count=None, seed=0):
         grow(root, 0)
     assign_sids(root)
     return Document(root, uri="profile:%s" % profile.name)
+
+
+# -- repeated-query traffic profiles ------------------------------------------
+#
+# Real query logs are heavily skewed: a few patterns account for most of the
+# traffic.  These profiles model that with a Zipfian draw over a fixed pool
+# of distinct patterns — the workload shape that makes result caching
+# (:mod:`repro.views`) pay off, and the one ``experiments.view_warmup``
+# measures the cold/warm crossover on.
+
+
+@dataclass(frozen=True)
+class QueryTrafficProfile:
+    """Shape of a repeated-query stream.
+
+    ``num_queries``        length of the stream;
+    ``distinct_patterns``  size of the pattern pool drawn from;
+    ``zipf_skew``          popularity skew of the draw (0 = uniform; larger
+                           concentrates traffic on the head patterns);
+    ``keyword_fraction``   fraction of pool patterns carrying a selective
+                           author-name keyword tail;
+    ``warmup_fraction``    fraction of the stream considered the cold phase
+                           (caches fill) when an experiment splits it.
+    """
+
+    name: str
+    num_queries: int
+    distinct_patterns: int
+    zipf_skew: float
+    keyword_fraction: float = 1.0
+    warmup_fraction: float = 0.3
+
+    @property
+    def warmup_queries(self):
+        """Stream index where the warm phase begins."""
+        return int(self.num_queries * self.warmup_fraction)
+
+
+REPEATED_QUERY_PROFILES = {
+    # the canonical skewed log: most traffic hits a handful of patterns
+    "zipf-hot": QueryTrafficProfile(
+        "zipf-hot",
+        num_queries=80,
+        distinct_patterns=10,
+        zipf_skew=1.2,
+        warmup_fraction=0.35,
+    ),
+    # flat popularity: the adversarial case for caching
+    "uniform": QueryTrafficProfile(
+        "uniform", num_queries=80, distinct_patterns=10, zipf_skew=0.0
+    ),
+}
+
+#: structural templates over the DBLP-like corpus (heavy posting lists)
+_QUERY_TEMPLATES = (
+    "//article//author",
+    "//inproceedings//author",
+    "//article//title",
+    "//inproceedings//title",
+    "//dblp//article//author",
+    "//article[//year]//author",
+)
+
+
+def zipfian_query_workload(profile, seed=0):
+    """A repeated-query stream following ``profile``.
+
+    Returns ``[(query_text, keyword_steps)]`` of length
+    ``profile.num_queries``.  The pool holds ``distinct_patterns`` distinct
+    queries — structural templates with (mostly) selective author-name
+    keyword tails, so the index phase dominates each query's cost — and the
+    stream draws from the pool Zipf-style: pool position is popularity
+    rank.  Deterministic for a given ``(profile, seed)``."""
+    from repro.workloads import vocab
+
+    rng = random.Random("%s:%s:repeat" % (profile.name, seed))
+    pool = []
+    for i in range(profile.distinct_patterns):
+        template = _QUERY_TEMPLATES[i % len(_QUERY_TEMPLATES)]
+        if (i + 1) / profile.distinct_patterns <= profile.keyword_fraction:
+            name = vocab.LAST_NAMES[(i * 7) % len(vocab.LAST_NAMES)]
+            pool.append((template + "//" + name, (name,)))
+        else:
+            pool.append((template, ()))
+    stream = []
+    for _ in range(profile.num_queries):
+        if profile.zipf_skew <= 0:
+            stream.append(pool[rng.randrange(len(pool))])
+        else:
+            stream.append(vocab.zipf_choice(rng, pool, skew=profile.zipf_skew))
+    return stream

@@ -72,6 +72,19 @@ CONFIGS = {
         dpp_replicate_after=1,
     ),
     "replicated-ring": KadopConfig(replication=3),
+    "views-pastry": KadopConfig(
+        replication=1,
+        use_views=True,
+        view_auto_materialize_after=1,
+        view_cost_based=False,
+    ),
+    "views-chord": KadopConfig(
+        replication=1,
+        overlay="chord",
+        use_views=True,
+        view_auto_materialize_after=1,
+        view_cost_based=False,
+    ),
 }
 
 STRATEGIES = (None, "ab", "db", "bloom", "subquery", "auto")
@@ -145,3 +158,60 @@ class TestAllConfigurationsAgree:
         for query, keywords in QUERIES[:4]:
             got = {a.bindings for a in net.query(query, keyword_steps=keywords)}
             assert got == oracle(query, keywords)
+
+
+def _views_config(overlay):
+    # threshold 1 + no cost gate: the very first ask materializes and every
+    # repeat is forced through the view path
+    return KadopConfig(
+        replication=1,
+        overlay=overlay,
+        use_views=True,
+        view_auto_materialize_after=1,
+        view_cost_based=False,
+    )
+
+
+class TestViewsServeIdenticalAnswers:
+    """View-served answers are element-for-element the base answers —
+    on both overlay substrates, and across the maintenance cycle."""
+
+    @pytest.mark.parametrize("overlay", ["pastry", "chord"])
+    def test_view_hits_match_oracle(self, overlay, corpus, oracle):
+        net = build(_views_config(overlay), corpus)
+        for ask in range(2):  # first ask materializes, second is a pure hit
+            for query, keywords in QUERIES:
+                answers = net.query(query, keyword_steps=keywords)
+                got = {a.bindings for a in answers}
+                assert got == oracle(query, keywords), (overlay, ask, query)
+        assert net.views.materializations > 0
+        assert net.views.hits > 0
+
+    @pytest.mark.parametrize("overlay", ["pastry", "chord"])
+    def test_maintenance_cycle(self, overlay, corpus):
+        """publish -> query -> unpublish -> query: live views track the
+        corpus exactly, agreeing with a views-off network at every step."""
+        view_net = build(_views_config(overlay), corpus)
+        base_net = build(KadopConfig(replication=1, overlay=overlay), corpus)
+
+        def agree(stage):
+            for query, keywords in QUERIES:
+                got = {a.bindings for a in view_net.query(query, keyword_steps=keywords)}
+                want = {a.bindings for a in base_net.query(query, keyword_steps=keywords)}
+                assert got == want, (overlay, stage, query)
+
+        agree("warmup")  # also materializes every query's view
+        assert view_net.views.materializations > 0
+
+        extra = "<a><b> red </b><c><d> green </d></c><e> blue </e></a>"
+        view_net.peers[2].publish(extra, uri="u:extra")
+        base_net.peers[2].publish(extra, uri="u:extra")
+        view_doc = max(view_net.peers[2].documents)
+        base_doc = max(base_net.peers[2].documents)
+        assert view_net.views.maintenance_added > 0
+        agree("after publish")
+
+        view_net.peers[2].unpublish(view_doc)
+        base_net.peers[2].unpublish(base_doc)
+        assert view_net.views.maintenance_removed > 0
+        agree("after unpublish")
