@@ -3,11 +3,19 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all bench-micro bench bench-views
+.PHONY: test test-all lint trace bench-micro bench bench-views
 
 # tier-1 gate: unit + integration-differential suites
 test:
 	$(PY) -m pytest -x -q
+
+# critical-error lint (rule set in pyproject.toml); CI installs ruff itself
+lint:
+	ruff check .
+
+# Perfetto trace of the demo query mix -> trace.json
+trace:
+	$(PY) -m repro trace demo --out trace.json
 
 # everything, including the slow experiment regenerations
 test-all:

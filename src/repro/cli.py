@@ -4,14 +4,21 @@ Usage::
 
     python -m repro list                     # available experiments
     python -m repro run table1 fig7          # run selected experiments
-    python -m repro run --all                # run everything
+    python -m repro run --all --json         # run everything, JSON output
     python -m repro demo                     # tiny end-to-end demo
+    python -m repro trace demo               # Perfetto trace of demo queries
+    python -m repro trace "//article//author" -o q.json
+    python -m repro profile views            # top spans + utilization
+    python -m repro stats --json             # machine-readable load stats
 
 Each experiment prints the paper-style rows and verifies its qualitative
-shape (the same checks the benchmark suite asserts).
+shape (the same checks the benchmark suite asserts).  ``trace`` writes
+Chrome trace-event JSON openable in Perfetto or ``chrome://tracing``;
+``profile`` prints where the simulated time went.
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -138,6 +145,17 @@ def _chart_for(name, result):
     return renderer(result) if renderer else None
 
 
+def _jsonable(value):
+    """Best-effort conversion of experiment results to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
 def cmd_run(args):
     registry = _registry()
     names = list(registry) if args.all else args.experiments
@@ -148,35 +166,59 @@ def cmd_run(args):
     if not names:
         print("nothing to run; use --all or name experiments", file=sys.stderr)
         return 2
+    as_json = getattr(args, "json", False)
     failed = []
+    records = []
     for name in names:
         runner, formatter, checker, description = registry[name]
-        print("== %s ==" % description)
+        if not as_json:
+            print("== %s ==" % description)
         started = time.time()
         result = runner()
+        shape_ok = None
+        shape_error = None
+        if checker is not None:
+            try:
+                checker(result)
+                shape_ok = True
+            except AssertionError as exc:
+                failed.append(name)
+                shape_ok = False
+                shape_error = str(exc)
+        seconds = time.time() - started
+        if as_json:
+            records.append(
+                {
+                    "experiment": name,
+                    "description": description,
+                    "result": _jsonable(result),
+                    "shape_ok": shape_ok,
+                    "shape_error": shape_error,
+                    "seconds": seconds,
+                }
+            )
+            continue
         print(formatter(result))
         if getattr(args, "chart", False):
             chart = _chart_for(name, result)
             if chart:
                 print(chart)
-        if checker is not None:
-            try:
-                checker(result)
-                print("shape: OK")
-            except AssertionError as exc:
-                failed.append(name)
-                print("shape: FAILED (%s)" % exc)
-        print("(%.1fs)\n" % (time.time() - started))
+        if shape_ok is True:
+            print("shape: OK")
+        elif shape_ok is False:
+            print("shape: FAILED (%s)" % shape_error)
+        print("(%.1fs)\n" % seconds)
+    if as_json:
+        print(json.dumps(records, indent=2, sort_keys=True))
     if failed:
         print("failed shapes: %s" % ", ".join(failed), file=sys.stderr)
         return 1
     return 0
 
 
-def cmd_stats(_args):
-    """Publish a small corpus, run a repeated query, print load stats."""
+def _demo_system():
+    """The small shared corpus behind ``stats``/``trace``/``profile``."""
     from repro.kadop.config import KadopConfig
-    from repro.kadop.stats import network_stats
     from repro.kadop.system import KadopNetwork
     from repro.workloads.dblp import DblpGenerator
 
@@ -187,11 +229,102 @@ def cmd_stats(_args):
     gen = DblpGenerator(seed=1, target_doc_bytes=8_000)
     for i, doc in enumerate(gen.documents(10)):
         net.peers[i % 6].publish(doc, uri="d:%d" % i)
+    return net
+
+
+def _demo_queries(net):
+    """The demo query mix: a hot repeated query (crosses the view
+    materialization threshold, so traces show consult/serve spans) plus a
+    keyword query for a plain multi-term index phase."""
+    for i in range(4):
+        net.query("//article//author", peer=net.peers[i % 12])
+    net.query(
+        '//article[. contains "the"]//title',
+        keyword_steps=("the",),
+        peer=net.peers[5],
+    )
+
+
+def cmd_stats(args):
+    """Publish a small corpus, run a repeated query, print load stats."""
+    from repro.kadop.stats import network_stats
+
+    net = _demo_system()
     # a hot query: the repeats cross the threshold, materialize a view, and
     # the remaining runs hit it — so the view counters below are non-zero
     for i in range(4):
         net.query("//article//author", peer=net.peers[i % 12])
-    print(network_stats(net).format())
+    stats = network_stats(net)
+    if getattr(args, "json", False):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats.to_registry(registry)
+        payload = {"network": stats.to_dict(), "metrics": registry.snapshot()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(stats.format())
+    return 0
+
+
+#: experiments that accept an (optionally shared) tracer/metrics pair
+_TRACEABLE_EXPERIMENTS = ("views", "traffic")
+
+
+def _traced_run(target):
+    """Run ``target`` with tracing on; returns ``(tracer, metrics)``.
+
+    ``target`` is ``"demo"`` (the shared demo corpus and query mix), an
+    XPath query string (run once against the demo corpus), or one of the
+    traced experiments (%s).
+    """ % (", ".join(_TRACEABLE_EXPERIMENTS),)
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    if target == "views":
+        from repro.experiments import view_warmup
+
+        view_warmup.run(tracer=tracer, metrics=metrics)
+        return tracer, metrics
+    if target == "traffic":
+        from repro.experiments import traffic
+
+        # the `repro run traffic` scale, so tracing stays interactive
+        traffic.run(
+            scale=0.0003, num_peers=20, num_queries=50, tracer=tracer,
+            metrics=metrics,
+        )
+        return tracer, metrics
+    net = _demo_system()
+    net.enable_tracing(tracer, metrics)
+    if target == "demo":
+        _demo_queries(net)
+    else:
+        net.query(target, peer=net.peers[0])
+    return tracer, metrics
+
+
+def cmd_trace(args):
+    """Record a Perfetto-compatible trace of a query or experiment."""
+    from repro.obs import validate_trace_file, write_chrome_trace
+
+    tracer, _metrics = _traced_run(args.target)
+    events = write_chrome_trace(tracer, args.out)
+    validate_trace_file(args.out)  # what CI asserts, asserted here too
+    print(
+        "wrote %s: %d events (%d queries, %d spans); open in Perfetto or "
+        "chrome://tracing" % (args.out, events, tracer.queries, len(tracer.spans))
+    )
+    return 0
+
+
+def cmd_profile(args):
+    """Print top spans by simulated self-time and resource utilization."""
+    from repro.obs import format_profile
+
+    tracer, metrics = _traced_run(args.target)
+    print(format_profile(tracer, metrics, top=args.top))
     return 0
 
 
@@ -230,11 +363,44 @@ def main(argv=None):
     run_parser.add_argument(
         "--chart", action="store_true", help="render figures as ASCII charts"
     )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON results instead of formatted rows",
+    )
     run_parser.set_defaults(func=cmd_run)
     sub.add_parser("demo", help="tiny end-to-end demo").set_defaults(func=cmd_demo)
-    sub.add_parser(
+    stats_parser = sub.add_parser(
         "stats", help="index load-balance statistics on a demo corpus"
-    ).set_defaults(func=cmd_stats)
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    stats_parser.set_defaults(func=cmd_stats)
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record a Perfetto-compatible trace (demo, a query, or an "
+        "experiment: %s)" % ", ".join(_TRACEABLE_EXPERIMENTS),
+    )
+    trace_parser.add_argument(
+        "target", nargs="?", default="demo", help="demo | <xpath query> | %s"
+        % " | ".join(_TRACEABLE_EXPERIMENTS),
+    )
+    trace_parser.add_argument(
+        "-o", "--out", default="trace.json", help="output path (trace.json)"
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+    profile_parser = sub.add_parser(
+        "profile", help="top spans by simulated self-time + resource utilization"
+    )
+    profile_parser.add_argument(
+        "target", nargs="?", default="demo", help="demo | <xpath query> | %s"
+        % " | ".join(_TRACEABLE_EXPERIMENTS),
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=12, help="rows in the top-span table"
+    )
+    profile_parser.set_defaults(func=cmd_profile)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -107,6 +107,11 @@ class DhtNetwork:
         self._by_id = {}
         self._owner_cache = {}
         self._replica_cache = {}
+        # observability hooks (repro.obs): strictly read-only observers —
+        # None by default, attached by KadopNetwork.enable_tracing
+        self.tracer = None
+        self.metrics = None
+        self._last_path = None  # hop path of the most recent traced route
 
     # -- membership ------------------------------------------------------------
 
@@ -293,31 +298,118 @@ class DhtNetwork:
         current = src
         hops = 0
         seen = set()
+        # per-hop (src, dst, level) capture for the tracer: level is the
+        # routing-table row used — the shared-prefix length between the
+        # forwarding node and the key
+        path = [] if (self.tracer is not None and self.tracer.active) else None
         while True:
             nxt_id = current.routing.next_hop(kid)
             if nxt_id is None:
+                self._last_path = path
                 return current, hops
             nxt = self._by_id.get(int(nxt_id))
             if nxt is None or not nxt.alive or int(nxt_id) in seen:
                 # stale entry: fall back to global owner (one extra hop),
                 # which is what Pastry's repair would converge to
-                return self.owner_of(key), hops + 1
+                owner = self.owner_of(key)
+                if path is not None:
+                    path.append(
+                        (
+                            current.peer_index,
+                            owner.peer_index,
+                            current.node_id.shared_prefix_len(kid),
+                        )
+                    )
+                self._last_path = path
+                return owner, hops + 1
+            if path is not None:
+                path.append(
+                    (
+                        current.peer_index,
+                        nxt.peer_index,
+                        current.node_id.shared_prefix_len(kid),
+                    )
+                )
             seen.add(int(nxt_id))
             current = nxt
             hops += 1
             if hops > len(self.nodes) + 4:
                 raise DhtError("routing loop for key %r" % (key,))
 
+    def _observe_op(self, op, src, key, receipt, payload=0):
+        """Record one completed DHT operation with the tracer/metrics.
+
+        Called after the receipt is final; emits the op span, one child
+        span per overlay hop (from the path :meth:`route` captured), and
+        the hop-count / fetch-size histogram samples.  Pure observation —
+        no meter, cost, or store interaction.
+        """
+        if self.metrics is None and self.tracer is None:
+            return
+        if self.metrics is not None:
+            from repro.obs.metrics import BYTES_BUCKETS, HOP_BUCKETS
+
+            self.metrics.histogram("dht_hops", HOP_BUCKETS, op=op).observe(
+                receipt.hops
+            )
+            if payload:
+                self.metrics.histogram(
+                    "dht_fetch_bytes", BYTES_BUCKETS, op=op
+                ).observe(payload)
+        tracer = self.tracer
+        if tracer is None or not tracer.active:
+            self._last_path = None
+            return
+        ctx = tracer.context
+        start = ctx.now()
+        track = "peer:%d" % src.peer_index
+        op_span = tracer.add(
+            "dht:%s %s" % (op, key),
+            "dht",
+            track,
+            start,
+            receipt.duration_s,
+            args={
+                "key": key,
+                "hops": receipt.hops,
+                "request_bytes": receipt.request_bytes,
+                "response_bytes": receipt.response_bytes,
+            },
+            parent=ctx.parent_id,
+        )
+        path, self._last_path = self._last_path, None
+        if path:
+            hop_latency = self.cost.params.hop_latency_s
+            t = start
+            for hop_src, hop_dst, level in path:
+                tracer.add(
+                    "hop %d>%d" % (hop_src, hop_dst),
+                    "dht-hop",
+                    track,
+                    t,
+                    hop_latency,
+                    args={"src": hop_src, "dst": hop_dst, "level": level},
+                    parent=op_span,
+                )
+                t += hop_latency
+
     # -- the DHT API -----------------------------------------------------------------
 
-    def locate(self, src, key):
-        """``locate(k)``: the node in charge of ``k`` plus a receipt."""
+    def locate(self, src, key, _observe=True):
+        """``locate(k)``: the node in charge of ``k`` plus a receipt.
+
+        ``_observe=False`` suppresses the tracer's op span — used by the
+        compound ops (``get``/``pipelined_get``/``get_object``) that embed
+        a locate, so each logical operation traces exactly once."""
         owner, hops = self.route(src, key)
         self.meter.record("control", CONTROL_BYTES * max(1, hops))
         duration = self.cost.transfer_time(CONTROL_BYTES, hops=max(1, hops))
-        return owner, OpReceipt(
+        receipt = OpReceipt(
             hops=hops, request_bytes=CONTROL_BYTES, duration_s=duration
         )
+        if _observe:
+            self._observe_op("locate", src, key, receipt)
+        return owner, receipt
 
     def append(self, src, key, postings, replicate=True):
         """The Section 3 extension: linear-cost posting insertion."""
@@ -335,6 +427,7 @@ class DhtNetwork:
         )
         if replicate:
             receipt.merge(self._replicate(owner, key, postings))
+        self._observe_op("append", src, key, receipt, payload=payload)
         return receipt
 
     def put(self, src, key, postings, replicate=True):
@@ -356,6 +449,7 @@ class DhtNetwork:
         )
         if replicate:
             receipt.merge(self._replicate(owner, key, postings))
+        self._observe_op("put", src, key, receipt, payload=payload)
         return receipt
 
     def _replicate(self, owner, key, postings):
@@ -372,7 +466,7 @@ class DhtNetwork:
 
     def get(self, src, key):
         """Blocking ``get``: the full posting list, in one response."""
-        owner, locate_receipt = self.locate(src, key)
+        owner, locate_receipt = self.locate(src, key, _observe=False)
         plist = owner.store.get(key)
         payload = encoded_size(plist)
         self.meter.record("postings", payload)
@@ -384,6 +478,7 @@ class DhtNetwork:
             + self.cost.disk_read_time(payload)
             + self.cost.transfer_time(payload, hops=1),
         )
+        self._observe_op("get", src, key, receipt, payload=payload)
         return plist, receipt
 
     def pipelined_get(self, src, key, chunk_postings=1024):
@@ -395,7 +490,7 @@ class DhtNetwork:
         executor schedules the remaining chunks against link resources to
         model the pipeline.
         """
-        owner, locate_receipt = self.locate(src, key)
+        owner, locate_receipt = self.locate(src, key, _observe=False)
         plist = owner.store.get(key)
         chunks = list(plist.chunks(chunk_postings)) if len(plist) else []
         total = 0
@@ -411,6 +506,7 @@ class DhtNetwork:
             + self.cost.disk_read_time(first)
             + self.cost.transfer_time(first, hops=1),
         )
+        self._observe_op("pipelined_get", src, key, receipt, payload=total)
         return chunks, receipt
 
     def delete(self, src, key, posting=None):
@@ -437,12 +533,14 @@ class DhtNetwork:
             if node is not owner:
                 self.meter.record("control", nbytes)
                 receipt.duration_s += self.cost.transfer_time(nbytes, hops=1)
+        self._observe_op("put_object", src, key, receipt, payload=nbytes)
         return receipt
 
     def get_object(self, src, key):
-        owner, locate_receipt = self.locate(src, key)
+        owner, locate_receipt = self.locate(src, key, _observe=False)
         entry = owner.objects.get(key)
         if entry is None:
+            self._observe_op("get_object", src, key, locate_receipt)
             return None, locate_receipt
         obj, nbytes = entry
         self.meter.record("control", nbytes)
@@ -453,6 +551,7 @@ class DhtNetwork:
             duration_s=locate_receipt.duration_s
             + self.cost.transfer_time(nbytes, hops=1),
         )
+        self._observe_op("get_object", src, key, receipt, payload=nbytes)
         return obj, receipt
 
 

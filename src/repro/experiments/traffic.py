@@ -24,17 +24,26 @@ def run(
     publishers=10,
     doc_bytes=20_000,
     seed=0,
+    tracer=None,
+    metrics=None,
 ):
     """Returns ``[(indexed_bytes, traffic_bytes)]``.
 
     The same network grows between checkpoints; at each checkpoint the 50-
     query workload is submitted from 50 distinct nodes and the index-query
     traffic (postings + control) is measured.
+
+    Pass a :class:`repro.obs.Tracer` (and optionally a registry) to record
+    every workload query as simulated-time spans — ``repro trace traffic``
+    uses this to break the reported traffic totals down by phase.  Tracing
+    is observational only; the measured points are identical either way.
     """
     if sizes_bytes is None:
         sizes_bytes = [int(mb * 1_000_000 * scale) for mb in PAPER_SIZES_MB]
     config = KadopConfig(replication=1)
     net = KadopNetwork.create(num_peers=num_peers, config=config, seed=seed)
+    if tracer is not None:
+        net.enable_tracing(tracer, metrics)
     gen = DblpGenerator(seed=seed, target_doc_bytes=doc_bytes)
     workload = traffic_workload(num_queries, seed=seed)
     published = 0

@@ -45,12 +45,20 @@ def run(
     publishers=8,
     materialize_after=2,
     seed=0,
+    tracer=None,
+    metrics=None,
 ):
     """Run the stream on views-off and views-on twins; returns a result dict.
 
     ``per_query`` holds ``(latency_off_s, latency_on_s, traffic_off_bytes,
     traffic_on_bytes)`` per stream position; phase aggregates split at the
-    profile's warmup boundary."""
+    profile's warmup boundary.
+
+    Pass a :class:`repro.obs.Tracer` (and optionally a registry) to record
+    the views network's queries as simulated-time spans; the result then
+    gains a ``span_breakdown`` (self-time per span category) so the
+    crossover can be attributed phase by phase.  Tracing never changes the
+    measured numbers — the in-run answer assertion doubles as the proof."""
     profile = REPEATED_QUERY_PROFILES[profile]
     workload = zipfian_query_workload(profile, seed=seed)
 
@@ -62,6 +70,8 @@ def run(
     )
     base_net = _build(base_config, num_peers, num_docs, doc_bytes, publishers, seed)
     view_net = _build(view_config, num_peers, num_docs, doc_bytes, publishers, seed)
+    if tracer is not None:
+        view_net.enable_tracing(tracer, metrics)
 
     per_query = []
     hits = 0
@@ -118,7 +128,13 @@ def run(
             last_above = i
     crossover = last_above + 1 if last_above + 1 < len(per_query) else None
     views = view_net.views
+    span_breakdown = None
+    if tracer is not None:
+        from repro.obs.profile import phase_totals
+
+        span_breakdown = phase_totals(tracer)
     return {
+        "span_breakdown": span_breakdown,
         "profile": profile.name,
         "queries": len(per_query),
         "warmup": warmup,
@@ -173,6 +189,14 @@ def format_rows(result):
         )
     )
     lines.append("view storage: %d bytes" % result["view_storage_bytes"])
+    if result.get("span_breakdown"):
+        parts = ", ".join(
+            "%s %.1fms" % (cat, seconds * 1e3)
+            for cat, seconds in sorted(
+                result["span_breakdown"].items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append("span self-time (views network): %s" % parts)
     return "\n".join(lines)
 
 

@@ -17,6 +17,7 @@ degree-K parallel block fetches (Section 4.2) earn their speedups.
 
 from dataclasses import dataclass, field
 
+from repro.obs.trace import observe_schedule
 from repro.postings.encoder import encoded_size
 from repro.postings.plist import PostingList
 from repro.postings.term_relation import label_key, word_key
@@ -99,6 +100,17 @@ class QueryExecutor:
         snapshot = meter.snapshot()
         report = QueryReport()
 
+        # tracing (repro.obs): purely observational span recording.  A
+        # nested run (view materialization) keeps the outer query context —
+        # its DHT ops attach there — rather than opening a second root.
+        tracer = system.tracer
+        ctx = None
+        if tracer is not None and not tracer.active:
+            ctx = tracer.begin_query(
+                pattern.to_string() if hasattr(pattern, "to_string") else repr(pattern),
+                args={"src_peer": src_peer.index},
+            )
+
         plan = build_index_plan(pattern)
         report.precise = plan.precise
 
@@ -122,6 +134,31 @@ class QueryExecutor:
             report.time_to_first_s = view_outcome.ttfa_s
             candidate_docs = set(view_outcome.docs)
             report.candidate_docs = len(candidate_docs)
+            doc_span = None
+            if ctx is not None:
+                tracer.add(
+                    "view:serve %s" % view_outcome.view_id,
+                    "view",
+                    "query",
+                    ctx.base,
+                    view_outcome.time_s,
+                    args={
+                        "view_id": view_outcome.view_id,
+                        "materialized": view_outcome.materialized,
+                        "postings": view_outcome.postings,
+                    },
+                    parent=ctx.root_id,
+                )
+                doc_span = tracer.add(
+                    "phase:document",
+                    "phase",
+                    "query",
+                    ctx.base + report.index_time_s,
+                    0.0,
+                    parent=ctx.root_id,
+                )
+                ctx.offset = report.index_time_s
+                ctx.parent_id = doc_span
             answers, doc_time, timed_out = self._document_phase(
                 pattern, src_peer, candidate_docs
             )
@@ -131,8 +168,27 @@ class QueryExecutor:
             report.response_time_s = report.index_time_s + doc_time
             report.time_to_first_s += doc_time
             report.traffic = meter.delta_since(snapshot)
+            self._finish_observation(ctx, doc_span, report, answers)
             return answers, report
         view_overhead = view_outcome.overhead_s if view_outcome else 0.0
+
+        index_span = None
+        if ctx is not None:
+            index_span = tracer.add(
+                "phase:index", "phase", "query", ctx.base, 0.0, parent=ctx.root_id
+            )
+            if view_outcome is not None and view_outcome.overhead_s:
+                tracer.add(
+                    "view:consult",
+                    "view",
+                    "query",
+                    ctx.base,
+                    view_outcome.overhead_s,
+                    args={"materialized": view_outcome.materialized},
+                    parent=index_span,
+                )
+            ctx.offset = view_overhead
+            ctx.parent_id = index_span
 
         strategy = strategy if strategy is not None else config.filter_strategy
         candidate_docs = set()
@@ -144,10 +200,35 @@ class QueryExecutor:
                 component_strategy = choice.executor_strategy
                 report.chosen_strategy = choice.strategy
                 report.index_time_s = max(report.index_time_s, choice.stats_time_s)
+                if ctx is not None:
+                    tracer.add(
+                        "optimize:%s" % choice.strategy,
+                        "optimizer",
+                        "query",
+                        ctx.now(),
+                        choice.stats_time_s,
+                        args={"strategy": choice.strategy},
+                        parent=index_span,
+                    )
             if component_strategy == "pushdown" and len(component) > 1:
+                push_span = None
+                if ctx is not None:
+                    push_span = tracer.add(
+                        "fetch[pushdown]",
+                        "fetch",
+                        "query",
+                        ctx.now(),
+                        0.0,
+                        args={"terms": len(component)},
+                        parent=index_span,
+                    )
+                    ctx.parent_id = push_span
                 docs, push_time = self._pushdown_join(component, src_peer, report)
                 report.index_time_s = max(report.index_time_s, push_time)
                 report.time_to_first_s = max(report.time_to_first_s, push_time)
+                if ctx is not None:
+                    tracer.set_duration(push_span, push_time)
+                    ctx.parent_id = index_span
                 if first:
                     candidate_docs = docs
                     first = False
@@ -158,12 +239,50 @@ class QueryExecutor:
                 continue
             if component_strategy == "pushdown":
                 component_strategy = None  # single term: nothing to push
+            fetch_span = None
+            if ctx is not None:
+                # opened before the fetch so the DHT ops and scheduler
+                # tasks inside attach to it; duration patched after.
+                # Bloom-filter exchanges get their own category so the
+                # profile can split reducer traffic from plain fetches.
+                label = component_strategy or (
+                    "dpp" if config.use_dpp else "plain"
+                )
+                fetch_span = tracer.add(
+                    "fetch[%s]" % label,
+                    "bloom" if component_strategy else "fetch",
+                    "query",
+                    ctx.now(),
+                    0.0,
+                    args={"terms": len(component)},
+                    parent=index_span,
+                )
+                ctx.parent_id = fetch_span
             streams, fetch_time, ttfa = self._fetch_streams(
                 component, src_peer, component_strategy
             )
             report.postings_fetched += sum(len(s) for s in streams.values())
             join_inputs = sum(len(s) for s in streams.values())
             join_cpu = system.net.cost.join_time(join_inputs)
+            if ctx is not None:
+                tracer.set_duration(
+                    fetch_span, fetch_time, args={"postings": join_inputs}
+                )
+                ctx.parent_id = index_span
+                join_start = (
+                    ctx.now()
+                    if (config.pipelined_get or config.use_dpp)
+                    else ctx.now() + fetch_time
+                )
+                tracer.add(
+                    "twig-join",
+                    "join",
+                    "query",
+                    join_start,
+                    join_cpu,
+                    args={"inputs": join_inputs},
+                    parent=index_span,
+                )
             if config.pipelined_get or config.use_dpp:
                 component_time = max(fetch_time, join_cpu)
                 component_ttfa = ttfa + system.net.cost.join_time(
@@ -224,6 +343,19 @@ class QueryExecutor:
         report.index_time_s += view_overhead
         report.time_to_first_s += view_overhead
         report.candidate_docs = len(candidate_docs)
+        doc_span = None
+        if ctx is not None:
+            tracer.set_duration(index_span, report.index_time_s)
+            doc_span = tracer.add(
+                "phase:document",
+                "phase",
+                "query",
+                ctx.base + report.index_time_s,
+                0.0,
+                parent=ctx.root_id,
+            )
+            ctx.offset = report.index_time_s
+            ctx.parent_id = doc_span
         answers, doc_time, timed_out = self._document_phase(
             pattern, src_peer, candidate_docs
         )
@@ -234,7 +366,33 @@ class QueryExecutor:
         report.time_to_first_s += doc_time
         report.traffic = meter.delta_since(snapshot)
         self._merge_dpp_counters(report)
+        self._finish_observation(ctx, doc_span, report, answers)
         return answers, report
+
+    def _finish_observation(self, ctx, doc_span, report, answers):
+        """Close the query's trace context and bump per-query counters."""
+        system = self.system
+        if system.metrics is not None:
+            system.metrics.counter("queries_total").inc()
+            system.metrics.counter("answers_total").inc(len(answers))
+            if report.view_hit:
+                system.metrics.counter("view_hits_total").inc()
+        if ctx is None:
+            return
+        tracer = system.tracer
+        if doc_span is not None:
+            tracer.set_duration(doc_span, report.doc_time_s)
+        tracer.end_query(
+            ctx,
+            report.response_time_s,
+            args={
+                "answers": len(answers),
+                "candidate_docs": report.candidate_docs,
+                "total_bytes": report.total_bytes,
+                "strategy": report.chosen_strategy,
+                "view_hit": report.view_hit,
+            },
+        )
 
     def _merge_dpp_counters(self, report):
         counters = getattr(self, "_last_dpp_counters", None)
@@ -321,7 +479,21 @@ class QueryExecutor:
             # the receipt's duration already covers locate + first chunk
             ttfa = max(ttfa, receipt.duration_s)
         makespan = scheduler.run()
+        self._observe_schedule(scheduler, rel_extra=locate_time)
         return streams, locate_time + makespan, ttfa
+
+    def _observe_schedule(self, scheduler, rel_extra=0.0):
+        """Hand a finished transfer schedule to the tracer/metrics.
+
+        ``rel_extra`` is the simulated time between the current phase
+        offset and the schedule's t=0 (locate/root-block latency)."""
+        system = self.system
+        tracer, metrics = system.tracer, system.metrics
+        if tracer is None and metrics is None:
+            return
+        ctx = tracer.context if tracer is not None else None
+        rel_base = (ctx.offset if ctx is not None else 0.0) + rel_extra
+        observe_schedule(tracer, metrics, scheduler, rel_base=rel_base)
 
     def _fetch_dpp(self, component, src_peer):
         """Degree-K parallel DPP block fetches with [min,max] filtering."""
@@ -417,6 +589,7 @@ class QueryExecutor:
             if first_block_time is not None:
                 ttfa = max(ttfa, root_time + first_block_time)
         makespan = scheduler.run()
+        self._observe_schedule(scheduler, rel_extra=root_time)
         self._last_dpp_counters = (fetched, skipped)
         streams = {
             node.node_id: term_lists[term_key_of(node)] for node in nodes
@@ -471,6 +644,7 @@ class QueryExecutor:
                 resources=(egress, ingress),
             )
         transfer_time = scheduler.run()
+        self._observe_schedule(scheduler, rel_extra=locate_time)
 
         # the host runs the twig join locally over its own (disk) list
         streams = {
@@ -505,6 +679,8 @@ class QueryExecutor:
         """
         system = self.system
         net = system.net
+        tracer = system.tracer
+        ctx = tracer.context if tracer is not None else None
         timeout_s = 4 * net.cost.params.hop_latency_s
         by_peer = {}
         for peer_idx, doc_idx in sorted(candidate_docs):
@@ -521,6 +697,16 @@ class QueryExecutor:
             if not peer.node.alive:
                 timed_out += 1
                 peer_times.append(timeout_s)
+                if ctx is not None:
+                    tracer.add(
+                        "doc:timeout peer%d" % peer_idx,
+                        "doc",
+                        "peer:%d" % peer_idx,
+                        ctx.now(),
+                        timeout_s,
+                        args={"timed_out": True, "docs": len(doc_indexes)},
+                        parent=ctx.parent_id,
+                    )
                 continue
             sent_bytes = 0
             matched = 0
@@ -541,10 +727,24 @@ class QueryExecutor:
             hops = net.cost.expected_hops(len(net.alive_nodes()))
             net.meter.record("control", 64 * hops)
             net.meter.record("documents", sent_bytes)
-            peer_times.append(
-                net.cost.transfer_time(64, hops=hops)
-                + net.cost.transfer_time(sent_bytes, hops=1)
+            peer_time = net.cost.transfer_time(64, hops=hops) + net.cost.transfer_time(
+                sent_bytes, hops=1
             )
+            peer_times.append(peer_time)
+            if ctx is not None:
+                tracer.add(
+                    "doc:peer%d" % peer_idx,
+                    "doc",
+                    "peer:%d" % peer_idx,
+                    ctx.now(),
+                    peer_time,
+                    args={
+                        "docs": len(doc_indexes),
+                        "answers": matched,
+                        "bytes": sent_bytes,
+                    },
+                    parent=ctx.parent_id,
+                )
         doc_time = max(peer_times) if peer_times else 0.0
         answers.sort(key=lambda a: (a.peer, a.doc, a.bindings))
         return answers, doc_time, timed_out

@@ -6,7 +6,9 @@ computes per-peer and per-term statistics over a live network — the same
 numbers an operator (or the future load balancer) would need.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+from repro.postings.encoder import encoded_size
 
 
 @dataclass
@@ -86,6 +88,41 @@ class NetworkStats:
             )
         return "\n".join(lines)
 
+    def to_dict(self):
+        """A JSON-ready dict of every field plus the derived summaries."""
+        data = asdict(self)
+        data["peers"] = [asdict(p) for p in self.peers]
+        data["hottest_terms"] = [
+            {"count": count, "term": term} for count, term in self.hottest_terms
+        ]
+        data["gini"] = self.gini
+        data["max_over_mean"] = self.max_over_mean
+        return data
+
+    def to_registry(self, registry):
+        """Feed these statistics into a :class:`repro.obs.MetricsRegistry`.
+
+        Aggregates become gauges; per-peer loads become labelled gauges so
+        ``registry.to_json()`` carries the full load-balance picture."""
+        registry.gauge("network_peers").set(len(self.peers))
+        registry.gauge("network_postings_total").set(self.total_postings)
+        registry.gauge("network_terms_total").set(self.total_terms)
+        registry.gauge("network_load_gini").set(self.gini)
+        registry.gauge("network_load_max_over_mean").set(self.max_over_mean)
+        registry.gauge("views_materialized").set(self.views)
+        registry.gauge("views_hits").set(self.view_hits)
+        registry.gauge("views_misses").set(self.view_misses)
+        registry.gauge("views_bytes").set(self.view_bytes)
+        for load in self.peers:
+            registry.gauge("peer_postings", peer=load.peer_index).set(
+                load.postings
+            )
+            registry.gauge("peer_terms", peer=load.peer_index).set(load.terms)
+            registry.gauge("peer_documents", peer=load.peer_index).set(
+                load.documents
+            )
+        return registry
+
 
 def network_stats(system, top_terms=8):
     """Collect :class:`NetworkStats` for a live network."""
@@ -99,8 +136,6 @@ def network_stats(system, top_terms=8):
         for term in store.terms():
             if term.startswith("viewblk:"):
                 # view answer blocks are cache, not index: tallied apart
-                from repro.postings.encoder import encoded_size
-
                 load.view_blocks += 1
                 load.view_bytes += encoded_size(store.get(term))
                 continue

@@ -70,6 +70,8 @@ class KadopNetwork:
         self.views = ViewManager(self) if self.config.use_views else None
         self.peers = []
         self._resources = {}  # uri -> xml text (the "web" of includable data)
+        self.tracer = None  # repro.obs.Tracer, via enable_tracing
+        self.metrics = None  # repro.obs.MetricsRegistry, via enable_tracing
 
     # -- construction ----------------------------------------------------------
 
@@ -107,6 +109,33 @@ class KadopNetwork:
     def fundex_register(self, peer, doc_index, document):
         """Hook called by peers when they publish intensional documents."""
         self.fundex.register_document(peer, doc_index, document)
+
+    # -- observability (repro.obs) ---------------------------------------------
+
+    def enable_tracing(self, tracer=None, metrics=None):
+        """Attach a span tracer + metrics registry to this network.
+
+        Tracing is strictly observational: every answer, simulated second,
+        and metered byte is identical with it on or off (the differential
+        test in ``tests/test_obs.py`` asserts this on Pastry and Chord).
+        Returns the tracer.
+        """
+        from repro.obs import MetricsRegistry, Tracer
+
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.net.tracer = self.tracer
+        self.net.metrics = self.metrics
+        self.net.meter.bind_metrics(self.metrics)
+        return self.tracer
+
+    def disable_tracing(self):
+        """Detach the observers installed by :meth:`enable_tracing`."""
+        self.tracer = None
+        self.metrics = None
+        self.net.tracer = None
+        self.net.metrics = None
+        self.net.meter.bind_metrics(None)
 
     # -- queries ------------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Observability for the KadoP stack: tracing, metrics, and profiles.
+
+The paper's results are *decompositions* of query cost — index phase vs.
+document phase, hops, per-strategy data volume.  This package records the
+same decompositions live, per query, instead of as end-of-run aggregates:
+
+:mod:`repro.obs.trace`
+    a :class:`Tracer` of simulated-time spans (no wall clock anywhere) and
+    an exporter to Chrome trace-event JSON, openable in Perfetto or
+    ``chrome://tracing``;
+:mod:`repro.obs.metrics`
+    a :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+    histograms with a ``snapshot()``/``to_json()`` API;
+:mod:`repro.obs.profile`
+    text reports: top spans by simulated self-time and per-resource
+    utilization.
+
+Tracing is strictly observational: enabling it must not change a single
+answer, simulated second, or metered byte (asserted by the differential
+test in ``tests/test_obs.py``).
+"""
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    HOP_BUCKETS,
+    QUEUE_WAIT_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    observe_schedule,
+    to_chrome_trace,
+    validate_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.profile import format_profile, phase_totals, top_spans
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "HOP_BUCKETS",
+    "QUEUE_WAIT_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "format_profile",
+    "observe_schedule",
+    "phase_totals",
+    "to_chrome_trace",
+    "top_spans",
+    "validate_trace",
+    "validate_trace_file",
+    "write_chrome_trace",
+]

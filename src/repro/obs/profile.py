@@ -1,0 +1,119 @@
+"""Profile reports over a recorded trace: where did simulated time go?
+
+``repro profile`` prints two tables built here:
+
+* **top spans by self-time** — a span's *self* time is its duration minus
+  the time covered by its child spans, so an index phase that spent all of
+  its seconds inside DHT fetches shows up near zero and the fetches
+  themselves rank;
+* **per-resource utilization** — busy seconds over capacity-seconds for
+  every scheduler resource (egress links, the consumer's ingress), from
+  the counters :func:`repro.obs.trace.observe_schedule` maintains.
+"""
+
+
+def self_times(spans):
+    """``{span_id: self_time_s}`` — duration minus children's durations.
+
+    Children are credited to their explicit ``parent_id``; a child longer
+    than its parent (possible for max-combined phases) clamps at zero.
+    """
+    child_time = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration_s
+            )
+    return {
+        span.span_id: max(0.0, span.duration_s - child_time.get(span.span_id, 0.0))
+        for span in spans
+    }
+
+
+def top_spans(tracer, n=12):
+    """Aggregate spans by name; top ``n`` by total self-time.
+
+    Returns ``[(name, cat, count, total_self_s, total_s)]`` sorted by
+    descending self-time.
+    """
+    selfs = self_times(tracer.spans)
+    by_name = {}
+    for span in tracer.spans:
+        key = (span.name, span.cat)
+        count, self_s, total_s = by_name.get(key, (0, 0.0, 0.0))
+        by_name[key] = (
+            count + 1,
+            self_s + selfs[span.span_id],
+            total_s + span.duration_s,
+        )
+    rows = [
+        (name, cat, count, self_s, total_s)
+        for (name, cat), (count, self_s, total_s) in by_name.items()
+    ]
+    rows.sort(key=lambda r: (-r[3], r[0]))
+    return rows[:n]
+
+
+def phase_totals(tracer):
+    """Total self-time per span category — the span-level cost breakdown.
+
+    This is the number EXPERIMENTS.md cites: e.g. how many simulated
+    seconds of a workload went to DHT transfers vs. scheduler-task
+    transfers vs. document-peer evaluation.
+    """
+    selfs = self_times(tracer.spans)
+    totals = {}
+    for span in tracer.spans:
+        totals[span.cat] = totals.get(span.cat, 0.0) + selfs[span.span_id]
+    return dict(sorted(totals.items()))
+
+
+def format_profile(tracer, metrics=None, top=12):
+    """The ``repro profile`` report as text."""
+    lines = []
+    lines.append(
+        "trace: %d queries, %d spans" % (tracer.queries, len(tracer.spans))
+    )
+    lines.append("")
+    lines.append("top spans by simulated self-time:")
+    lines.append(
+        "%10s %10s %6s  %-8s %s" % ("self (ms)", "total (ms)", "count", "cat", "name")
+    )
+    for name, cat, count, self_s, total_s in top_spans(tracer, n=top):
+        lines.append(
+            "%10.3f %10.3f %6d  %-8s %s"
+            % (self_s * 1e3, total_s * 1e3, count, cat, name)
+        )
+    totals = phase_totals(tracer)
+    if totals:
+        lines.append("")
+        lines.append("self-time by category:")
+        for cat, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+            lines.append("%10.3f ms  %s" % (seconds * 1e3, cat))
+    if metrics is not None:
+        table = metrics.utilization()
+        if table:
+            lines.append("")
+            lines.append("per-resource utilization (scheduler runs):")
+            lines.append(
+                "%10s %12s %12s  %s" % ("busy (ms)", "capacity (ms)", "util", "resource")
+            )
+            for resource in sorted(table):
+                busy_s, capacity_s, ratio = table[resource]
+                lines.append(
+                    "%10.3f %12.3f %11.1f%%  %s"
+                    % (busy_s * 1e3, capacity_s * 1e3, 100.0 * ratio, resource)
+                )
+        snap = metrics.snapshot()
+        wait = snap["histograms"].get("scheduler_queue_wait_s")
+        if wait and wait["count"]:
+            lines.append("")
+            lines.append(
+                "queue wait: %d tasks, %.3f ms total, mean %.3f ms"
+                % (
+                    wait["count"],
+                    wait["sum"] * 1e3,
+                    wait["sum"] / wait["count"] * 1e3,
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,336 @@
+"""Simulated-time span tracing with Chrome trace-event export.
+
+A :class:`Span` is an interval of *simulated* seconds — there is no wall
+clock anywhere in this module.  The system computes durations (transfer
+times, scheduler makespans, join CPU); the tracer only records where those
+seconds sit on a per-query timeline, so a trace is exactly as deterministic
+as the simulation itself.
+
+Timeline model: the tracer keeps a global cursor.  Each query opens a root
+span at the cursor and lays its phases out at relative offsets (the query
+context's ``base``/``offset``); when the query ends, the cursor advances by
+the query's simulated response time, so consecutive queries appear
+back-to-back in Perfetto rather than stacked at t=0.
+
+Export (:func:`to_chrome_trace`) maps spans onto the Chrome trace-event
+JSON format: one ``ph: "X"`` complete event per span, ``ts``/``dur`` in
+microseconds of simulated time, tracks (``tid``) per peer / link /
+query-phase lane.  The result loads in ``chrome://tracing`` and Perfetto.
+"""
+
+import json
+from itertools import count
+
+#: trailing idle gap inserted between consecutive queries on the timeline,
+#: in simulated seconds — purely cosmetic, keeps query roots visually apart
+QUERY_GAP_S = 0.0
+
+
+class Span:
+    """One simulated-time interval with attributes.
+
+    ``track`` is the display lane ("query", "peer:3", "egress:5", ...);
+    ``cat`` the coarse kind ("phase", "dht", "dht-hop", "task", "wait",
+    "doc", "view", ...); ``args`` carries byte/hop/peer attributes.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "cat",
+        "track",
+        "start_s",
+        "duration_s",
+        "args",
+    )
+
+    def __init__(self, span_id, parent_id, name, cat, track, start_s, duration_s, args):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.args = args
+
+    @property
+    def end_s(self):
+        return self.start_s + self.duration_s
+
+    def __repr__(self):
+        return "Span(%r, %s, %.6g+%.6gs)" % (
+            self.name,
+            self.track,
+            self.start_s,
+            self.duration_s,
+        )
+
+
+class QueryContext:
+    """The active query's position on the global timeline.
+
+    ``base``       absolute start of the query (simulated seconds);
+    ``offset``     current phase offset *within* the query — DHT ops and
+                   scheduler observations anchor to ``base + offset``;
+    ``root_id``    span id of the query's root span;
+    ``parent_id``  span id new child spans should attach to.
+    """
+
+    __slots__ = ("base", "offset", "root_id", "parent_id", "name")
+
+    def __init__(self, base, root_id, name):
+        self.base = base
+        self.offset = 0.0
+        self.root_id = root_id
+        self.parent_id = root_id
+        self.name = name
+
+    def now(self):
+        return self.base + self.offset
+
+
+class Tracer:
+    """Collects spans; strictly observational (never changes results)."""
+
+    def __init__(self):
+        self.spans = []
+        self._ids = count(1)
+        self._cursor = 0.0
+        self._ctx = None
+        self.queries = 0
+
+    # -- recording --------------------------------------------------------------
+
+    @property
+    def active(self):
+        """True while a query context is open (ops should record spans)."""
+        return self._ctx is not None
+
+    @property
+    def context(self):
+        return self._ctx
+
+    def add(self, name, cat, track, start_s, duration_s, args=None, parent=None):
+        """Record one span; returns its id (usable as ``parent``)."""
+        span_id = next(self._ids)
+        self.spans.append(
+            Span(span_id, parent, name, cat, track, start_s, duration_s, args or {})
+        )
+        return span_id
+
+    def set_duration(self, span_id, duration_s, args=None):
+        """Patch a span's duration (and extra args) once known.
+
+        Phase roots are opened before their children so the children can
+        attach to them; the duration only exists after the phase closes.
+        """
+        for span in reversed(self.spans):
+            if span.span_id == span_id:
+                span.duration_s = duration_s
+                if args:
+                    span.args.update(args)
+                return
+        raise KeyError("no span with id %r" % (span_id,))
+
+    def begin_query(self, name, args=None):
+        """Open a query root span at the timeline cursor."""
+        root_id = self.add(name, "query", "query", self._cursor, 0.0, args=args)
+        self._ctx = QueryContext(self._cursor, root_id, name)
+        return self._ctx
+
+    def end_query(self, ctx, duration_s, args=None):
+        """Close the query: fix the root duration, advance the cursor."""
+        for span in reversed(self.spans):
+            if span.span_id == ctx.root_id:
+                span.duration_s = duration_s
+                if args:
+                    span.args.update(args)
+                break
+        self._cursor = ctx.base + duration_s + QUERY_GAP_S
+        self.queries += 1
+        if self._ctx is ctx:
+            self._ctx = None
+
+    # -- convenience ------------------------------------------------------------
+
+    def spans_by_cat(self, cat):
+        return [s for s in self.spans if s.cat == cat]
+
+    def children_of(self, span_id):
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def __len__(self):
+        return len(self.spans)
+
+
+def observe_schedule(tracer, metrics, scheduler, rel_base=0.0, parent=None):
+    """Record one finished :class:`~repro.sim.tasks.Scheduler` run.
+
+    Emits a span per task (on the task's egress-link track, or "ingress")
+    plus a ``wait`` span for any queue time — the gap between a task
+    becoming ready and actually starting, attributed to the resource that
+    had no free slot.  Feeds the queue-wait histogram and per-resource
+    busy/capacity counters (utilization = busy / (capacity * makespan)).
+
+    Reads task ``start``/``finish``/``ready``/``blocked_on`` left behind by
+    ``Scheduler.run``; it never mutates the scheduler, so calling it (or
+    not) cannot change any simulated result.
+    """
+    tasks = scheduler.tasks
+    if not tasks:
+        return
+    makespan = max((t.finish for t in tasks if t.finish is not None), default=0.0)
+    ctx = tracer.context if tracer is not None else None
+    busy = {}
+    for task in tasks:
+        if task.start is None or task.finish is None:
+            continue  # failed run: nothing trustworthy to record
+        wait = (task.start - task.ready) if task.ready is not None else 0.0
+        for resource in task.resources:
+            busy[resource] = busy.get(resource, 0.0) + task.duration
+        if metrics is not None:
+            from repro.obs.metrics import QUEUE_WAIT_BUCKETS_S
+
+            metrics.histogram(
+                "scheduler_queue_wait_s", QUEUE_WAIT_BUCKETS_S
+            ).observe(wait)
+        if ctx is not None:
+            track = next(
+                (r for r in task.resources if r.startswith("egress")),
+                task.resources[0] if task.resources else "scheduler",
+            )
+            start_abs = ctx.base + rel_base + task.start
+            attach = parent if parent is not None else ctx.parent_id
+            if wait > 0:
+                tracer.add(
+                    "wait:%s" % task.name,
+                    "wait",
+                    track,
+                    start_abs - wait,
+                    wait,
+                    args={"blocked_on": task.blocked_on},
+                    parent=attach,
+                )
+            tracer.add(
+                task.name,
+                "task",
+                track,
+                start_abs,
+                task.duration,
+                args={
+                    "resources": list(task.resources),
+                    "queue_wait_s": wait,
+                },
+                parent=attach,
+            )
+    if metrics is not None:
+        for resource, capacity in scheduler.capacities().items():
+            metrics.counter("resource_busy_s", resource=resource).inc(
+                busy.get(resource, 0.0)
+            )
+            metrics.counter("resource_capacity_s", resource=resource).inc(
+                capacity * makespan
+            )
+
+
+# -- Chrome trace-event export ------------------------------------------------
+
+#: simulated seconds -> trace-event microseconds
+_US = 1_000_000
+
+
+def to_chrome_trace(tracer, process_name="kadop-sim"):
+    """Render the tracer's spans as a Chrome trace-event JSON object.
+
+    Every event (including the ``ph: "M"`` metadata that names tracks)
+    carries the full required key set — ``name/ph/ts/dur/pid/tid`` — and
+    events are sorted by ``ts``, so the output passes
+    :func:`validate_trace` and loads in Perfetto / ``chrome://tracing``.
+    """
+    tracks = sorted({span.track for span in tracer.spans})
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "dur": 0,
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "dur": 0,
+                "pid": 1,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    spans = sorted(tracer.spans, key=lambda s: (s.start_s, s.span_id))
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": round(span.start_s * _US, 3),
+                "dur": round(span.duration_s * _US, 3),
+                "pid": 1,
+                "tid": tids[span.track],
+                "args": dict(span.args, span_id=span.span_id),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path, process_name="kadop-sim"):
+    """Write :func:`to_chrome_trace` output to ``path``; returns #events."""
+    trace = to_chrome_trace(tracer, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def validate_trace(obj):
+    """Check trace-event JSON structure; returns the event count.
+
+    Enforces exactly what the CI smoke step promises: every event has the
+    required keys, timestamps are non-negative and monotonically
+    non-decreasing in file order, durations are non-negative.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("trace must be an object with a 'traceEvents' array")
+    events = obj["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty array")
+    last_ts = 0
+    for i, event in enumerate(events):
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError("event %d missing required key %r" % (i, key))
+        ts, dur = event["ts"], event["dur"]
+        if ts < 0 or dur < 0:
+            raise ValueError("event %d has negative ts/dur: %r/%r" % (i, ts, dur))
+        if ts < last_ts:
+            raise ValueError(
+                "timestamps not monotonic at event %d: %r < %r" % (i, ts, last_ts)
+            )
+        last_ts = ts
+    return len(events)
+
+
+def validate_trace_file(path):
+    """Validate a trace JSON file on disk; returns the event count."""
+    with open(path) as handle:
+        return validate_trace(json.load(handle))

@@ -26,6 +26,16 @@ class TrafficMeter:
     def __init__(self):
         self._by_category = Counter()
         self._messages = Counter()
+        self._metrics = None
+
+    def bind_metrics(self, registry):
+        """Mirror every record into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Purely additive: the meter's own counters (and therefore every
+        traffic figure in reports and experiments) are byte-identical with
+        or without a bound registry.
+        """
+        self._metrics = registry
 
     def record(self, category, nbytes):
         """Record a message of ``nbytes`` payload in ``category``."""
@@ -33,6 +43,13 @@ class TrafficMeter:
             raise ValueError("cannot record negative byte count %r" % (nbytes,))
         self._by_category[category] += nbytes
         self._messages[category] += 1
+        if self._metrics is not None:
+            self._metrics.counter("traffic_bytes_total", category=category).inc(
+                nbytes
+            )
+            self._metrics.counter(
+                "traffic_messages_total", category=category
+            ).inc()
 
     def bytes(self, category=None):
         """Total bytes recorded, overall or for one category."""

@@ -24,9 +24,24 @@ class Task:
     ``duration``   simulated seconds of work once started.
     ``deps``       tasks that must finish before this one may start.
     ``resources``  names of resources a slot of which is held while running.
+
+    After :meth:`Scheduler.run`, ``start``/``finish`` hold the schedule,
+    ``ready`` the instant all dependencies were done (so ``start - ready``
+    is the queue wait), and ``blocked_on`` the resource that last had no
+    free slot when the task was passed over (None if it started at once).
     """
 
-    __slots__ = ("name", "duration", "deps", "resources", "seq", "start", "finish")
+    __slots__ = (
+        "name",
+        "duration",
+        "deps",
+        "resources",
+        "seq",
+        "start",
+        "finish",
+        "ready",
+        "blocked_on",
+    )
 
     def __init__(self, name, duration, deps=(), resources=()):
         if duration < 0:
@@ -38,6 +53,8 @@ class Task:
         self.seq = None  # assigned by the scheduler
         self.start = None
         self.finish = None
+        self.ready = None
+        self.blocked_on = None
 
     def __repr__(self):
         return "Task(%r, %.6gs)" % (self.name, self.duration)
@@ -60,6 +77,10 @@ class Scheduler:
 
     def has_resource(self, name):
         return name in self._capacity
+
+    def capacities(self):
+        """``{resource: capacity}`` of every declared resource."""
+        return dict(self._capacity)
 
     def add_task(self, name, duration, deps=(), resources=()):
         """Create, register, and return a :class:`Task`."""
@@ -91,11 +112,17 @@ class Scheduler:
                 dependents[dep.seq].append(task)
 
         free = dict(self._capacity)
+        for task in self._tasks:  # a fresh run owes no state to a prior one
+            task.start = task.finish = task.ready = task.blocked_on = None
         # Ready queue is a min-heap keyed by seq: newly unblocked tasks are
         # pushed in O(log n) instead of re-sorting the whole list at every
         # event.  The start scan pops in seq order — exactly the order the
         # sorted-list implementation used — so schedules are byte-identical.
-        ready = [t.seq for t in self._tasks if not remaining_deps[t.seq]]
+        ready = []
+        for t in self._tasks:
+            if not remaining_deps[t.seq]:
+                t.ready = 0.0
+                ready.append(t.seq)
         heapq.heapify(ready)
         running = []  # heap of (finish_time, seq, task)
         now = 0.0
@@ -114,6 +141,9 @@ class Scheduler:
                     task.finish = now + task.duration
                     heapq.heappush(running, (task.finish, seq, task))
                 else:
+                    task.blocked_on = next(
+                        r for r in task.resources if free[r] <= 0
+                    )
                     blocked.append(seq)
             # ``blocked`` was produced in increasing seq order, so it is
             # already a valid min-heap
@@ -132,11 +162,16 @@ class Scheduler:
                 for child in dependents[task.seq]:
                     remaining_deps[child.seq] -= 1
                     if not remaining_deps[child.seq]:
+                        child.ready = now
                         heapq.heappush(ready, child.seq)
             try_start()
 
         if completed != len(self._tasks):
             stuck = [t.name for t in self._tasks if t.finish is None]
+            # a failed run leaves no schedule: wipe the partial times so no
+            # caller can mistake them for a completed run's accounting
+            for task in self._tasks:
+                task.start = task.finish = task.ready = task.blocked_on = None
             raise RuntimeError(
                 "schedule did not complete; cyclic dependencies among %r" % (stuck,)
             )

@@ -39,3 +39,54 @@ class TestCli:
         import importlib.util
 
         assert importlib.util.find_spec("repro.__main__") is not None
+
+
+class TestJsonOutput:
+    def test_run_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["run", "dpporder", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["experiment"] == "dpporder"
+        assert rec["shape_ok"] is True
+        assert rec["shape_error"] is None
+        assert rec["result"]  # the raw rows survived the conversion
+
+    def test_stats_json_carries_network_and_metrics(self, capsys):
+        import json
+
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"network", "metrics"}
+        assert payload["network"]["total_postings"] > 0
+        assert 0.0 <= payload["network"]["gini"] <= 1.0
+        gauges = payload["metrics"]["gauges"]
+        assert gauges["network_peers"] == len(payload["network"]["peers"])
+
+
+class TestTraceAndProfile:
+    def test_trace_demo_writes_valid_trace(self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "demo", "-o", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert validate_trace_file(out) > 0
+
+    def test_trace_query_target(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "q.json"
+        assert main(["trace", "//article//author", "-o", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"query", "dht", "dht-hop"} <= cats
+
+    def test_profile_demo_reports_tables(self, capsys):
+        assert main(["profile", "demo", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top spans by simulated self-time" in out
+        assert "per-resource utilization" in out
+        assert "queue wait" in out

@@ -1,0 +1,402 @@
+"""Tests for the observability layer: tracer, metrics, profiles, export.
+
+The load-bearing guarantee is at the bottom: tracing is *free* — answers,
+simulated times, and metered bytes are byte-identical with observation on
+or off, on both overlay substrates.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.obs import (
+    BYTES_BUCKETS,
+    HOP_BUCKETS,
+    QUEUE_WAIT_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    observe_schedule,
+    phase_totals,
+    to_chrome_trace,
+    top_spans,
+    validate_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.profile import format_profile, self_times
+from repro.sim.tasks import Scheduler
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        g = Gauge()
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_bounds(self):
+        h = Histogram((1, 2, 4))
+        for v in (0, 1, 2, 3, 4, 100):
+            h.observe(v)
+        # 0,1 <= 1; 2 <= 2; 3,4 <= 4; 100 overflows
+        assert h.counts == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.sum == 110
+
+    def test_quantile(self):
+        h = Histogram((1, 2, 4))
+        for v in (1, 1, 1, 4):
+            h.observe(v)
+        assert h.quantile(0.5) == 1
+        assert h.quantile(1.0) == 4
+        assert Histogram((1,)).quantile(0.5) is None
+
+    def test_quantile_overflow(self):
+        h = Histogram((1,))
+        h.observe(50)
+        assert h.quantile(0.9) == float("inf")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((3, 1))
+
+    def test_shared_bucket_constants_are_increasing(self):
+        for bounds in (HOP_BUCKETS, BYTES_BUCKETS, QUEUE_WAIT_BUCKETS_S):
+            assert list(bounds) == sorted(bounds)
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_labels_same_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", peer=3).inc()
+        reg.counter("hits", peer=3).inc()
+        reg.counter("hits", peer=4).inc()
+        snap = reg.snapshot()["counters"]
+        assert snap == {"hits{peer=3}": 2, "hits{peer=4}": 1}
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", (1, 2)).observe(1)
+        assert json.loads(reg.to_json()) == reg.snapshot()
+
+    def test_utilization_table(self):
+        reg = MetricsRegistry()
+        reg.counter("resource_busy_s", resource="egress:0").inc(2.0)
+        reg.counter("resource_capacity_s", resource="egress:0").inc(4.0)
+        assert reg.utilization() == {"egress:0": (2.0, 4.0, 0.5)}
+
+
+class TestTracer:
+    def test_query_lifecycle_advances_cursor(self):
+        t = Tracer()
+        ctx = t.begin_query("q1")
+        assert t.active
+        t.end_query(ctx, duration_s=0.25)
+        assert not t.active
+        ctx2 = t.begin_query("q2")
+        assert ctx2.base == pytest.approx(0.25)
+        t.end_query(ctx2, 0.5)
+        assert t.queries == 2
+        roots = t.spans_by_cat("query")
+        assert [s.duration_s for s in roots] == [0.25, 0.5]
+
+    def test_children_attach_by_parent_id(self):
+        t = Tracer()
+        ctx = t.begin_query("q")
+        child = t.add("fetch", "dht", "peer:0", 0.0, 0.1, parent=ctx.parent_id)
+        t.add("hop", "dht-hop", "peer:0", 0.0, 0.05, parent=child)
+        t.end_query(ctx, 0.1)
+        assert [s.name for s in t.children_of(ctx.root_id)] == ["fetch"]
+        assert [s.name for s in t.children_of(child)] == ["hop"]
+
+    def test_set_duration_patches_span_and_args(self):
+        t = Tracer()
+        sid = t.add("phase", "phase", "query", 0.0, 0.0, args={"a": 1})
+        t.set_duration(sid, 0.7, args={"b": 2})
+        span = t.spans[0]
+        assert span.duration_s == 0.7
+        assert span.args == {"a": 1, "b": 2}
+        with pytest.raises(KeyError):
+            t.set_duration(999, 1.0)
+
+
+class TestChromeExport:
+    def _tracer(self):
+        t = Tracer()
+        ctx = t.begin_query("q")
+        t.add("op", "dht", "peer:1", 0.0, 0.2, parent=ctx.root_id)
+        t.end_query(ctx, 0.2)
+        return t
+
+    def test_export_is_valid(self):
+        trace = to_chrome_trace(self._tracer())
+        assert validate_trace(trace) == len(trace["traceEvents"])
+
+    def test_metadata_names_every_track(self):
+        trace = to_chrome_trace(self._tracer())
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert names == {"query", "peer:1"}
+
+    def test_span_units_are_microseconds(self):
+        trace = to_chrome_trace(self._tracer())
+        op = next(e for e in trace["traceEvents"] if e["name"] == "op")
+        assert op["ph"] == "X"
+        assert op["dur"] == pytest.approx(0.2 * 1e6)
+
+    def test_write_and_validate_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(self._tracer(), path)
+        assert validate_trace_file(path) == n
+
+    def test_validator_rejects_bad_traces(self):
+        with pytest.raises(ValueError):
+            validate_trace([])
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": []})
+        ok = {"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}
+        missing = {k: v for k, v in ok.items() if k != "dur"}
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": [ok, missing]})
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": [dict(ok, ts=5), dict(ok, ts=1)]})
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": [dict(ok, dur=-1)]})
+
+
+class TestProfile:
+    def test_self_time_subtracts_children(self):
+        t = Tracer()
+        parent = t.add("p", "phase", "query", 0.0, 1.0)
+        t.add("c1", "dht", "query", 0.0, 0.3, parent=parent)
+        t.add("c2", "dht", "query", 0.3, 0.3, parent=parent)
+        selfs = self_times(t.spans)
+        assert selfs[parent] == pytest.approx(0.4)
+
+    def test_self_time_clamps_at_zero(self):
+        t = Tracer()
+        parent = t.add("p", "phase", "query", 0.0, 0.1)
+        t.add("c", "dht", "query", 0.0, 0.5, parent=parent)
+        assert self_times(t.spans)[parent] == 0.0
+
+    def test_top_spans_aggregates_by_name(self):
+        t = Tracer()
+        t.add("fetch", "dht", "a", 0.0, 0.2)
+        t.add("fetch", "dht", "b", 0.2, 0.3)
+        t.add("join", "join", "a", 0.5, 0.1)
+        rows = top_spans(t, n=5)
+        assert rows[0] == ("fetch", "dht", 2, pytest.approx(0.5), pytest.approx(0.5))
+
+    def test_phase_totals(self):
+        t = Tracer()
+        t.add("a", "dht", "x", 0.0, 0.2)
+        t.add("b", "doc", "x", 0.2, 0.3)
+        totals = phase_totals(t)
+        assert totals == {"dht": pytest.approx(0.2), "doc": pytest.approx(0.3)}
+
+    def test_format_profile_renders_tables(self):
+        t = Tracer()
+        ctx = t.begin_query("q")
+        t.add("fetch", "dht", "peer:0", 0.0, 0.2, parent=ctx.root_id)
+        t.end_query(ctx, 0.2)
+        reg = MetricsRegistry()
+        reg.counter("resource_busy_s", resource="ingress").inc(1.0)
+        reg.counter("resource_capacity_s", resource="ingress").inc(2.0)
+        reg.histogram("scheduler_queue_wait_s", QUEUE_WAIT_BUCKETS_S).observe(0.5)
+        text = format_profile(t, reg)
+        assert "top spans" in text
+        assert "ingress" in text and "50.0%" in text
+        assert "queue wait" in text
+
+
+class TestObserveSchedule:
+    def test_queue_wait_matches_makespan_accounting(self):
+        """On a capacity-1 resource the waits are forced: task i queues
+        exactly i * duration seconds, and total busy time equals the
+        makespan — the histogram and counters must reproduce both."""
+        s = Scheduler()
+        s.add_resource("link", 1)
+        tasks = [s.add_task("t%d" % i, 1.0, resources=("link",)) for i in range(3)]
+        makespan = s.run()
+        assert makespan == pytest.approx(3.0)
+
+        reg = MetricsRegistry()
+        observe_schedule(None, reg, s)
+
+        hist = reg.histogram("scheduler_queue_wait_s", QUEUE_WAIT_BUCKETS_S)
+        assert hist.count == 3
+        # waits 0 + 1 + 2, and independently: sum over tasks of start-ready
+        assert hist.sum == pytest.approx(3.0)
+        assert hist.sum == pytest.approx(
+            sum(t.start - t.ready for t in tasks)
+        )
+        # busy == makespan on a saturated capacity-1 resource
+        busy, capacity, util = reg.utilization()["link"]
+        assert busy == pytest.approx(makespan)
+        assert capacity == pytest.approx(1 * makespan)
+        assert util == pytest.approx(1.0)
+
+    def test_partial_contention(self):
+        s = Scheduler()
+        s.add_resource("link", 2)
+        [s.add_task("t%d" % i, 1.0, resources=("link",)) for i in range(4)]
+        makespan = s.run()
+        assert makespan == pytest.approx(2.0)
+        reg = MetricsRegistry()
+        observe_schedule(None, reg, s)
+        hist = reg.histogram("scheduler_queue_wait_s", QUEUE_WAIT_BUCKETS_S)
+        assert hist.sum == pytest.approx(2.0)  # two tasks wait one second
+        busy, capacity, util = reg.utilization()["link"]
+        assert (busy, capacity, util) == (
+            pytest.approx(4.0),
+            pytest.approx(4.0),
+            pytest.approx(1.0),
+        )
+
+    def test_emits_task_and_wait_spans_under_open_context(self):
+        s = Scheduler()
+        s.add_resource("egress:5", 1)
+        s.add_task("a", 1.0, resources=("egress:5",))
+        s.add_task("b", 1.0, resources=("egress:5",))
+        s.run()
+        t = Tracer()
+        ctx = t.begin_query("q")
+        observe_schedule(t, None, s)
+        t.end_query(ctx, 2.0)
+        task_spans = t.spans_by_cat("task")
+        wait_spans = t.spans_by_cat("wait")
+        assert len(task_spans) == 2
+        assert {sp.track for sp in task_spans} == {"egress:5"}
+        assert len(wait_spans) == 1
+        assert wait_spans[0].args["blocked_on"] == "egress:5"
+
+
+LABELS = ["a", "b", "c", "d"]
+WORDS = ["red", "green", "blue"]
+
+
+def _random_doc(rng, max_nodes=24):
+    parts = []
+
+    def build(depth, budget):
+        label = rng.choice(LABELS)
+        parts.append("<%s>" % label)
+        if rng.random() < 0.5:
+            parts.append(" %s " % rng.choice(WORDS))
+        for _ in range(0 if depth > 4 else rng.randint(0, 3)):
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1
+            build(depth + 1, budget)
+        parts.append("</%s>" % label)
+
+    build(0, [max_nodes])
+    return "".join(parts)
+
+
+DIFF_QUERIES = [
+    ("//a//b", (), None),
+    ("//a/b", (), None),
+    ('//a[. contains "red"]', (), None),
+    ("//a//b//c", (), "auto"),
+    ("//a[//b]//c", (), "ab"),
+    ("//a//b", (), None),  # repeat: exercises the view-hit path
+]
+
+
+def _build(overlay, corpus, traced):
+    config = KadopConfig(
+        replication=1,
+        overlay=overlay,
+        use_views=True,
+        view_auto_materialize_after=1,
+        view_cost_based=False,
+        use_dpp=True,
+        dpp_block_entries=12,
+    )
+    net = KadopNetwork.create(num_peers=8, config=config, seed=1)
+    if traced:
+        net.enable_tracing()
+    for i, text in enumerate(corpus):
+        net.peers[i % 4].publish(text, uri="u:%d" % i)
+    return net
+
+
+class TestTracingIsFree:
+    """The zero-cost invariant: identical answers, simulated times, and
+    metered bytes with tracing on vs off — byte-identical QueryReports."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = random.Random(2008)
+        return [_random_doc(rng) for _ in range(8)]
+
+    @pytest.mark.parametrize("overlay", ["pastry", "chord"])
+    def test_differential(self, overlay, corpus):
+        plain = _build(overlay, corpus, traced=False)
+        traced = _build(overlay, corpus, traced=True)
+        for query, keywords, strategy in DIFF_QUERIES:
+            src = 3
+            a_plain, r_plain = plain.query_with_report(
+                query, keyword_steps=keywords, peer=plain.peers[src],
+                strategy=strategy,
+            )
+            a_traced, r_traced = traced.query_with_report(
+                query, keyword_steps=keywords, peer=traced.peers[src],
+                strategy=strategy,
+            )
+            assert [(a.peer, a.doc, a.bindings) for a in a_plain] == [
+                (a.peer, a.doc, a.bindings) for a in a_traced
+            ], (overlay, query)
+            assert dataclasses.asdict(r_plain) == dataclasses.asdict(
+                r_traced
+            ), (overlay, query)
+        # every metered byte agrees too — publication and queries alike
+        assert plain.net.meter.snapshot() == traced.net.meter.snapshot()
+        assert plain.net.meter.messages() == traced.net.meter.messages()
+
+    @pytest.mark.parametrize("overlay", ["pastry", "chord"])
+    def test_trace_covers_all_layers(self, overlay, corpus):
+        net = _build(overlay, corpus, traced=True)
+        for query, keywords, strategy in DIFF_QUERIES:
+            net.query(query, keyword_steps=keywords, strategy=strategy)
+        cats = {s.cat for s in net.tracer.spans}
+        # the three instrumented layers all contributed spans
+        assert {"query", "phase", "dht", "dht-hop", "task"} <= cats
+        assert net.tracer.queries == len(DIFF_QUERIES)
+        assert validate_trace(to_chrome_trace(net.tracer)) > 0
+
+    def test_disable_tracing_detaches(self, corpus):
+        net = _build("pastry", corpus, traced=True)
+        net.query("//a//b")
+        before = len(net.tracer.spans)
+        tracer = net.tracer
+        net.disable_tracing()
+        net.query("//a//b")
+        assert len(tracer.spans) == before
+        assert net.tracer is None and net.net.tracer is None

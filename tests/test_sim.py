@@ -156,6 +156,65 @@ class TestScheduler:
         assert s.run() == pytest.approx(5.0)
         assert d.start == pytest.approx(4.0)
 
+    def test_queue_wait_attribution(self):
+        """Tasks record when they became ready and what blocked them."""
+        s = Scheduler()
+        s.add_resource("link", 1)
+        a = s.add_task("a", 2.0, resources=("link",))
+        b = s.add_task("b", 1.0, resources=("link",))
+        s.run()
+        first, second = (a, b) if a.start == 0.0 else (b, a)
+        assert first.ready == 0.0 and first.start == 0.0
+        assert second.ready == 0.0
+        assert second.start - second.ready == pytest.approx(first.duration)
+        assert second.blocked_on == "link"
+        assert first.blocked_on is None
+
+    def test_dependent_ready_time(self):
+        s = Scheduler()
+        a = s.add_task("a", 1.5)
+        b = s.add_task("b", 1.0, deps=[a])
+        s.run()
+        assert b.ready == pytest.approx(1.5)
+        assert b.start == pytest.approx(1.5)  # no contention: starts when ready
+
+    def test_cycle_error_lists_stuck_tasks_and_clears_state(self):
+        """Regression: a failed run must not leave stale start/finish
+        times on Task objects (they used to survive the RuntimeError)."""
+        s = Scheduler()
+        a = s.add_task("a", 1.0)
+        b = s.add_task("b", 1.0, deps=[a])
+        c = s.add_task("c", 1.0, deps=[b])
+        done = s.add_task("done", 1.0)
+        a.deps.append(c)  # a -> b -> c -> a
+        with pytest.raises(RuntimeError) as err:
+            s.run()
+        for name in ("a", "b", "c"):
+            assert name in str(err.value)
+        assert "done" not in str(err.value)
+        for task in (a, b, c, done):
+            assert task.start is None
+            assert task.finish is None
+            assert task.ready is None
+            assert task.blocked_on is None
+
+    def test_rerun_after_cycle_fix(self):
+        s = Scheduler()
+        a = s.add_task("a", 1.0)
+        b = s.add_task("b", 1.0, deps=[a])
+        a.deps.append(b)
+        with pytest.raises(RuntimeError):
+            s.run()
+        a.deps.remove(b)
+        assert s.run() == pytest.approx(2.0)
+        assert b.finish == pytest.approx(2.0)
+
+    def test_capacities(self):
+        s = Scheduler()
+        s.add_resource("eg", 1)
+        s.add_resource("in", 4)
+        assert s.capacities() == {"eg": 1, "in": 4}
+
 
 class TestHelpers:
     def test_serial_time(self):

@@ -66,3 +66,100 @@ class TestNetworkStats:
 
         assert main(["stats"]) == 0
         assert "load balance" in capsys.readouterr().out
+
+
+class TestNetworkStatsEdgeCases:
+    def test_empty_network(self):
+        stats = NetworkStats()
+        assert stats.gini == 0.0
+        assert stats.max_over_mean == 1.0
+        data = stats.to_dict()
+        assert data["peers"] == [] and data["gini"] == 0.0
+
+    def test_single_peer(self):
+        stats = NetworkStats(peers=[PeerLoad(0, postings=42)])
+        assert stats.gini == pytest.approx(0.0)
+        assert stats.max_over_mean == pytest.approx(1.0)
+
+    def test_all_zero_loads(self):
+        stats = NetworkStats(peers=[PeerLoad(i, postings=0) for i in range(5)])
+        assert stats.gini == 0.0
+        assert stats.max_over_mean == 1.0
+
+    def test_to_dict_carries_derived_summaries(self, net):
+        data = network_stats(net).to_dict()
+        assert data["gini"] == pytest.approx(network_stats(net).gini)
+        assert {"count", "term"} <= set(data["hottest_terms"][0])
+        assert all("postings" in p for p in data["peers"])
+        assert data["total_postings"] == sum(p["postings"] for p in data["peers"])
+
+    def test_to_registry(self, net):
+        from repro.obs import MetricsRegistry
+
+        stats = network_stats(net)
+        reg = stats.to_registry(MetricsRegistry())
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["network_postings_total"] == stats.total_postings
+        assert gauges["network_peers"] == len(stats.peers)
+        per_peer = [k for k in gauges if k.startswith("peer_postings{")]
+        assert len(per_peer) == len(stats.peers)
+
+
+class TestTrafficMeterAccounting:
+    """Satellite coverage for the meter paths the experiments lean on."""
+
+    def test_negative_byte_rejection_leaves_state_untouched(self):
+        from repro.sim.meter import TrafficMeter
+
+        m = TrafficMeter()
+        m.record("postings", 10)
+        with pytest.raises(ValueError):
+            m.record("postings", -1)
+        assert m.bytes("postings") == 10
+        assert m.messages("postings") == 1
+
+    def test_delta_since_sees_new_categories(self):
+        from repro.sim.meter import TrafficMeter
+
+        m = TrafficMeter()
+        m.record("postings", 5)
+        snap = m.snapshot()
+        m.record("filters", 3)
+        assert m.delta_since(snap) == {"postings": 0, "filters": 3}
+
+    def test_delta_since_after_reset_goes_negative(self):
+        """A reset between snapshot and delta shows up as negative — the
+        caller's bug, but the arithmetic must stay honest."""
+        from repro.sim.meter import TrafficMeter
+
+        m = TrafficMeter()
+        m.record("a", 9)
+        snap = m.snapshot()
+        m.reset()
+        assert m.delta_since(snap) == {"a": -9}
+
+    def test_reset_clears_messages_too(self):
+        from repro.sim.meter import TrafficMeter
+
+        m = TrafficMeter()
+        m.record("a", 5)
+        m.reset()
+        assert m.bytes() == 0
+        assert m.messages() == 0
+
+    def test_bind_metrics_mirrors_without_changing_meter(self):
+        from repro.obs import MetricsRegistry
+        from repro.sim.meter import TrafficMeter
+
+        plain, mirrored = TrafficMeter(), TrafficMeter()
+        reg = MetricsRegistry()
+        mirrored.bind_metrics(reg)
+        for m in (plain, mirrored):
+            m.record("postings", 100)
+            m.record("postings", 50)
+            m.record("control", 7)
+        assert plain.snapshot() == mirrored.snapshot()
+        counters = reg.snapshot()["counters"]
+        assert counters["traffic_bytes_total{category=postings}"] == 150
+        assert counters["traffic_messages_total{category=postings}"] == 2
+        assert counters["traffic_bytes_total{category=control}"] == 7
