@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace bench-micro bench bench-views
+.PHONY: test test-all lint trace bench-micro bench bench-views bench-blocks
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -34,3 +34,9 @@ bench:
 # materialized-view warmup crossover (repro.views)
 bench-views:
 	$(PY) -m pytest benchmarks/test_view_warmup.py --benchmark-only
+
+# DPP block-fetch ablation (eager vs window vs zone-map-lazy); refreshes
+# the committed BENCH_blocks.json, which doubles as the CI regression
+# baseline for lazy blocks_fetched
+bench-blocks:
+	$(PY) -m repro.experiments.block_pruning --out BENCH_blocks.json

@@ -27,6 +27,7 @@ def _registry():
     """Name -> (runner, formatter, checker, description).  Runners are
     thunks at the default benchmark scales."""
     from repro.experiments import (
+        block_pruning,
         dpp_order_ablation,
         optimizer_eval,
         fig2_indexing,
@@ -108,6 +109,12 @@ def _registry():
             dpp_order_ablation.format_rows,
             dpp_order_ablation.check_shape,
             "Section 4.1 ablation: ordered vs. random splits",
+        ),
+        "blocks": (
+            block_pruning.run,
+            block_pruning.format_rows,
+            block_pruning.check_shape,
+            "Section 4.2 ablation: eager vs window vs zone-map-lazy fetches",
         ),
         "optimizer": (
             optimizer_eval.run,

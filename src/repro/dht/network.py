@@ -481,6 +481,26 @@ class DhtNetwork:
         self._observe_op("get", src, key, receipt, payload=payload)
         return plist, receipt
 
+    def block_get(self, src, key, postings):
+        """Receipt for a direct block transfer from a known holder.
+
+        DPP block fetches skip the locate — the root block already names
+        the holder via its pseudo-key — so the receipt charges exactly one
+        disk read plus a single-hop transfer of the (possibly
+        range-restricted) block payload.  Centralizing this here keeps the
+        block-fetch accounting consistent with ``get``'s and gives block
+        transfers their own op span in traces.
+        """
+        payload = encoded_size(postings)
+        self.meter.record("postings", payload)
+        receipt = OpReceipt(
+            response_bytes=payload,
+            duration_s=self.cost.disk_read_time(payload)
+            + self.cost.transfer_time(payload, hops=1),
+        )
+        self._observe_op("block_get", src, key, receipt, payload=payload)
+        return receipt
+
     def pipelined_get(self, src, key, chunk_postings=1024):
         """Streamed ``get``: the list arrives in chunks.
 

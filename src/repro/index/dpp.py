@@ -28,6 +28,72 @@ from repro.postings.posting import Posting
 #: bytes to encode one condition entry in a root block (two postings + key)
 CONDITION_BYTES = 56
 
+#: bytes to encode one zone map (count + min/max start + min/max level)
+ZONE_BYTES = 40
+
+
+class ZoneMap:
+    """Per-block synopsis kept next to the condition in the root block.
+
+    The condition already bounds the block's ``(peer, doc)`` span; the zone
+    map adds the posting count and the min/max start position and tree
+    level, letting the query planner prune blocks that cannot satisfy a
+    structural axis (e.g. a ``CHILD`` step whose parent levels are all
+    deeper than the block's shallowest element) without fetching them.
+
+    Bounds are maintained conservatively: appends widen them from the
+    incoming batch, splits recompute them exactly from the halves, and
+    deletes never shrink them — a sound over-approximation.
+    """
+
+    __slots__ = ("count", "min_start", "max_start", "min_level", "max_level")
+
+    def __init__(self, count, min_start, max_start, min_level, max_level):
+        self.count = count
+        self.min_start = min_start
+        self.max_start = max_start
+        self.min_level = min_level
+        self.max_level = max_level
+
+    @classmethod
+    def of_group(cls, group):
+        """Exact zone map of a batch of postings."""
+        return cls(
+            len(group),
+            min(p.start for p in group),
+            max(p.start for p in group),
+            min(p.level for p in group),
+            max(p.level for p in group),
+        )
+
+    @classmethod
+    def of_list(cls, plist):
+        """Exact zone map of a PostingList, straight off the columns."""
+        cols = plist.columns()
+        return cls(
+            len(cols), min(cols.start), max(cols.start),
+            min(cols.level), max(cols.level),
+        )
+
+    def widen(self, group, count):
+        """Absorb an appended batch; ``count`` is the block's exact size."""
+        self.count = count
+        for p in group:
+            if p.start < self.min_start:
+                self.min_start = p.start
+            if p.start > self.max_start:
+                self.max_start = p.start
+            if p.level < self.min_level:
+                self.min_level = p.level
+            if p.level > self.max_level:
+                self.max_level = p.level
+
+    def __repr__(self):
+        return "ZoneMap(n=%d, start=[%d,%d], level=[%d,%d])" % (
+            self.count, self.min_start, self.max_start,
+            self.min_level, self.max_level,
+        )
+
 
 @dataclass(frozen=True)
 class Condition:
@@ -71,15 +137,17 @@ class BlockRef:
         "pseudo_key",
         "seq",
         "types",
+        "zone",
         "access_count",
         "replica_keys",
     )
 
-    def __init__(self, condition, pseudo_key, seq, types=None):
+    def __init__(self, condition, pseudo_key, seq, types=None, zone=None):
         self.condition = condition
         self.pseudo_key = pseudo_key  # None: block is local to the term owner
         self.seq = seq
         self.types = set(types or ())
+        self.zone = zone  # ZoneMap synopsis; None until the first append
         self.access_count = 0  # popularity, drives block replication (§4.2)
         self.replica_keys = []  # pseudo-keys of popularity replicas
 
@@ -111,7 +179,10 @@ class DppRoot:
         type_bytes = sum(
             8 * len(entry.types) for entry in self.entries
         )
-        return 16 + CONDITION_BYTES * len(self.entries) + type_bytes
+        zone_bytes = sum(
+            ZONE_BYTES for entry in self.entries if entry.zone is not None
+        )
+        return 16 + CONDITION_BYTES * len(self.entries) + type_bytes + zone_bytes
 
     def target_entry(self, posting):
         """The entry whose block should receive ``posting``.
@@ -300,6 +371,13 @@ class DppIndex:
                 min(entry.condition.lo, group_lo),
                 max(entry.condition.hi, group_hi),
             )
+        # refresh the zone map alongside (count is the block's exact size;
+        # start/level bounds widen conservatively from the batch)
+        if entry.zone is None:
+            entry.zone = ZoneMap.of_group(group)
+            entry.zone.count = holder.store.count(store_key)
+        else:
+            entry.zone.widen(group, holder.store.count(store_key))
 
         if holder.store.count(store_key) > self.max_block_entries:
             receipt.merge(self._split_block(owner, root, entry))
@@ -343,9 +421,12 @@ class DppIndex:
         # the root replaces C with C1, C2
         idx = root.entries.index(entry)
         entry.condition = Condition(lower.first, lower.last)
+        # a split sees the full block anyway, so recompute zones exactly
+        entry.zone = ZoneMap.of_list(lower)
         # both halves may hold any of the original types (conservative)
         new_entry = BlockRef(
-            Condition(upper.first, upper.last), new_key, new_seq, entry.types
+            Condition(upper.first, upper.last), new_key, new_seq, entry.types,
+            zone=ZoneMap.of_list(upper),
         )
         root.entries.insert(idx + 1, new_entry)
         return receipt
@@ -427,13 +508,7 @@ class DppIndex:
                 postings = holder.store.get(store_key).range(lo, hi)
         else:
             postings = holder.store.get(store_key)
-        payload = encoded_size(postings)
-        self.net.meter.record("postings", payload)
-        receipt = OpReceipt(
-            response_bytes=payload,
-            duration_s=self.net.cost.disk_read_time(payload)
-            + self.net.cost.transfer_time(payload, hops=1),
-        )
+        receipt = self.net.block_get(src, store_key, postings)
         return postings, holder, receipt
 
     def full_list(self, src, term_key):

@@ -42,6 +42,13 @@ class KadopConfig:
     ``dpp_replicate_after``  popularity threshold (block fetch count) that
                              triggers per-block replication; None disables
     ``dpp_replica_copies``   extra copies per popular block
+    ``dpp_fetch_mode``       how the executor retrieves DPP blocks:
+                             ``"eager"`` fetches every block of every term;
+                             ``"window"`` applies the paper's single global
+                             ``[min, max]`` document window; ``"lazy"``
+                             (default) adds zone-map pruning and fetches
+                             blocks on demand as the block-granular join
+                             reaches their range
 
     Section 5 (Structural Bloom Filters):
 
@@ -96,6 +103,7 @@ class KadopConfig:
     dpp_ordered_splits: bool = True
     dpp_replicate_after: int = None
     dpp_replica_copies: int = 1
+    dpp_fetch_mode: str = "lazy"
 
     filter_strategy: str = None
     ab_fp_rate: float = 0.20
@@ -129,6 +137,11 @@ class KadopConfig:
             raise ConfigError("unknown filter strategy %r" % self.filter_strategy)
         if self.parallelism < 1:
             raise ConfigError("parallelism must be >= 1")
+        if self.dpp_fetch_mode not in ("eager", "window", "lazy"):
+            raise ConfigError(
+                "dpp_fetch_mode must be 'eager', 'window', or 'lazy', got %r"
+                % (self.dpp_fetch_mode,)
+            )
         if self.view_block_entries < 1:
             raise ConfigError("view_block_entries must be >= 1")
         if (

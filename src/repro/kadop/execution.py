@@ -21,7 +21,14 @@ from repro.obs.trace import observe_schedule
 from repro.postings.encoder import encoded_size
 from repro.postings.plist import PostingList
 from repro.postings.term_relation import label_key, word_key
+from repro.query.block_join import (
+    Block,
+    LazyBlock,
+    demand_driven_block_join,
+    parallel_block_join,
+)
 from repro.query.index_plan import build_index_plan
+from repro.query.pattern import Axis
 from repro.query.twigjoin import twig_join
 from repro.sim.tasks import Scheduler
 
@@ -246,7 +253,7 @@ class QueryExecutor:
                 # Bloom-filter exchanges get their own category so the
                 # profile can split reducer traffic from plain fetches.
                 label = component_strategy or (
-                    "dpp" if config.use_dpp else "plain"
+                    self._dpp_label() if config.use_dpp else "plain"
                 )
                 fetch_span = tracer.add(
                     "fetch[%s]" % label,
@@ -296,6 +303,8 @@ class QueryExecutor:
 
             dpp_blocks = getattr(self, "_last_dpp_blocks", None)
             self._last_dpp_blocks = None
+            dpp_solutions = getattr(self, "_last_dpp_solutions", None)
+            self._last_dpp_solutions = None
             if config.index_granularity == "document":
                 # coarse index (Section 8): only (p, d) is recorded, so the
                 # index query degenerates to a document-id intersection —
@@ -306,11 +315,21 @@ class QueryExecutor:
                     stream_docs = set(stream.doc_ids())
                     docs = stream_docs if docs is None else docs & stream_docs
                 docs = docs or set()
+            elif dpp_solutions is not None:
+                # lazy mode already ran the demand-driven block join while
+                # fetching — the solutions drove which blocks were pulled
+                bindings, vectors = dpp_solutions
+                report.block_vectors += vectors
+                docs = {
+                    (
+                        sol[component.root.node_id].peer,
+                        sol[component.root.node_id].doc,
+                    )
+                    for sol in bindings
+                }
             elif dpp_blocks is not None:
                 # the block-based parallel twig join of Section 4.2: join
                 # meaningful block vectors instead of merged lists
-                from repro.query.block_join import parallel_block_join
-
                 result = parallel_block_join(component, dpp_blocks)
                 report.block_vectors += result.vectors_considered
                 bindings = result.solutions
@@ -377,6 +396,13 @@ class QueryExecutor:
             system.metrics.counter("answers_total").inc(len(answers))
             if report.view_hit:
                 system.metrics.counter("view_hits_total").inc()
+            if report.blocks_fetched or report.blocks_skipped:
+                system.metrics.counter("blocks_fetched_total").inc(
+                    report.blocks_fetched
+                )
+                system.metrics.counter("blocks_pruned_total").inc(
+                    report.blocks_skipped
+                )
         if ctx is None:
             return
         tracer = system.tracer
@@ -495,8 +521,34 @@ class QueryExecutor:
         rel_base = (ctx.offset if ctx is not None else 0.0) + rel_extra
         observe_schedule(tracer, metrics, scheduler, rel_base=rel_base)
 
+    def _dpp_label(self):
+        """The effective DPP fetch mode (for span labels and reports)."""
+        config = self.system.config
+        if (
+            config.dpp_fetch_mode == "lazy"
+            and self.system.dpp.ordered_splits
+            and config.index_granularity == "element"
+        ):
+            return "lazy"
+        return "dpp" if config.dpp_fetch_mode != "eager" else "eager"
+
     def _fetch_dpp(self, component, src_peer):
-        """Degree-K parallel DPP block fetches with [min,max] filtering."""
+        """DPP block retrieval, in one of three modes (``dpp_fetch_mode``):
+
+        ``eager``   fetch every block of every term, unfiltered — the
+                    baseline the ablation compares against;
+        ``window``  the paper's Section 4.2 ``[min, max]`` document window
+                    plus type filtering, fetching every surviving block;
+        ``lazy``    window + zone-map pruning, then *demand-driven*
+                    fetching: blocks are handed to the block join as
+                    unfetched cursors and transferred only when a
+                    meaningful vector reaches their document range.
+
+        Lazy mode needs ordered splits (random scattering overlaps every
+        condition, so block bounds cannot guide the join) and element
+        granularity (document-granularity postings carry no usable
+        structure); otherwise it degrades to window behaviour.
+        """
         system = self.system
         net = system.net
         dpp = system.dpp
@@ -542,6 +594,13 @@ class QueryExecutor:
                 viable_types &= term_types
         viable_types = viable_types or set()
 
+        if self._dpp_label() == "lazy":
+            return self._fetch_dpp_lazy(
+                component, src_peer, roots, root_time,
+                doc_lo, doc_hi, viable_types,
+            )
+
+        use_window = config.dpp_fetch_mode != "eager"
         scheduler = Scheduler()
         ingress = scheduler.add_resource("ingress", config.parallelism)
         fetched, skipped = 0, 0
@@ -549,30 +608,31 @@ class QueryExecutor:
         term_blocks = {}
         ttfa = root_time
         for key, root in roots.items():
-            merged = PostingList()
+            parts = []
             blocks = []
             first_block_time = None
             for entry in root.entries:
                 if entry.condition is None:
                     continue
-                if doc_hi < doc_lo or not entry.condition.intersects_docs(
-                    doc_lo, doc_hi
-                ):
-                    skipped += 1
-                    continue
-                if entry.types and viable_types and not (
-                    entry.types & viable_types
-                ):
-                    skipped += 1
-                    continue
+                if use_window:
+                    if doc_hi < doc_lo or not entry.condition.intersects_docs(
+                        doc_lo, doc_hi
+                    ):
+                        skipped += 1
+                        continue
+                    if entry.types and viable_types and not (
+                        entry.types & viable_types
+                    ):
+                        skipped += 1
+                        continue
                 postings, holder, receipt = dpp.fetch_block(
-                    src_peer.node, key, entry, doc_lo, doc_hi
+                    src_peer.node, key, entry,
+                    doc_lo if use_window else None,
+                    doc_hi if use_window else None,
                 )
                 fetched += 1
-                merged = merged.merge(postings)
+                parts.append(postings)
                 if len(postings):
-                    from repro.query.block_join import Block
-
                     blocks.append(Block(postings))
                 egress = "egress:%d" % holder.peer_index
                 if not scheduler.has_resource(egress):
@@ -584,7 +644,7 @@ class QueryExecutor:
                 )
                 if first_block_time is None:
                     first_block_time = receipt.duration_s
-            term_lists[key] = merged
+            term_lists[key] = PostingList.concat(parts)
             term_blocks[key] = blocks
             if first_block_time is not None:
                 ttfa = max(ttfa, root_time + first_block_time)
@@ -599,6 +659,179 @@ class QueryExecutor:
                 node.node_id: term_blocks[term_key_of(node)] for node in nodes
             }
         return streams, root_time + makespan, ttfa
+
+    @staticmethod
+    def _zone_level_bounds(entries):
+        """Aggregate ``[min, max]`` tree level over candidate block zones."""
+        levels = [
+            (e.zone.min_level, e.zone.max_level)
+            for e in entries
+            if e.zone is not None
+        ]
+        if not levels:
+            return 0, float("inf")
+        return min(lo for lo, _ in levels), max(hi for _, hi in levels)
+
+    @staticmethod
+    def _zone_level_prune(keep, nodes):
+        """Drop candidate blocks whose level zone cannot satisfy an axis.
+
+        For an edge ``p -[axis]-> n`` every match binds ``n`` to an element
+        structurally below (or at, for descendant-or-self) *some* ``p``
+        element in the same document, so across all documents:
+
+        * CHILD:      ``n.level == p.level + 1`` exactly (the axis
+                      predicate itself checks this);
+        * DESCENDANT: ``n.level >= p.level + 1`` (containment in a
+                      well-formed tree implies a strictly deeper level);
+        * DESC-OR-SELF: ``n.level >= p.level``.
+
+        A block all of whose levels fall outside what the other side's
+        blocks can pair with is pruned.  Bounds are zone aggregates, hence
+        conservative; one pass per edge (no fixpoint needed for soundness).
+        """
+        for parent in nodes:
+            for child in parent.children:
+                axis = child.axis
+                p_lo, p_hi = QueryExecutor._zone_level_bounds(keep[parent.node_id])
+                c_lo, c_hi = QueryExecutor._zone_level_bounds(keep[child.node_id])
+                if axis is Axis.CHILD:
+                    child_ok = lambda z: (  # noqa: E731
+                        z.max_level >= p_lo + 1 and z.min_level <= p_hi + 1
+                    )
+                    parent_ok = lambda z: (  # noqa: E731
+                        z.max_level >= c_lo - 1 and z.min_level <= c_hi - 1
+                    )
+                elif axis is Axis.DESCENDANT:
+                    child_ok = lambda z: z.max_level >= p_lo + 1  # noqa: E731
+                    parent_ok = lambda z: z.min_level <= c_hi - 1  # noqa: E731
+                else:  # DESCENDANT_OR_SELF
+                    child_ok = lambda z: z.max_level >= p_lo  # noqa: E731
+                    parent_ok = lambda z: z.min_level <= c_hi  # noqa: E731
+                keep[child.node_id] = [
+                    e for e in keep[child.node_id]
+                    if e.zone is None or child_ok(e.zone)
+                ]
+                keep[parent.node_id] = [
+                    e for e in keep[parent.node_id]
+                    if e.zone is None or parent_ok(e.zone)
+                ]
+
+    def _fetch_dpp_lazy(
+        self, component, src_peer, roots, root_time, doc_lo, doc_hi, viable_types
+    ):
+        """Zone-map–pruned, demand-driven block fetching (the lazy mode).
+
+        Candidate blocks survive the document window, type, and zone-map
+        level filters; the survivors become :class:`LazyBlock` cursors and
+        :func:`demand_driven_block_join` fetches only the ones a meaningful
+        vector actually reaches.  Fetches are charged to the scheduler as
+        they are demanded, released at ``root_time`` (they cannot start
+        before the root blocks have arrived); accounting holds
+        ``blocks_fetched + blocks_skipped == total blocks`` with every
+        never-fetched block counted as skipped.
+        """
+        system = self.system
+        net = system.net
+        dpp = system.dpp
+        config = system.config
+        nodes = component.nodes()
+
+        total_entries = sum(
+            sum(1 for e in root.entries if e.condition is not None)
+            for root in roots.values()
+        )
+
+        # window + type pre-filter, once per unique term
+        candidates = {}
+        for key, root in roots.items():
+            cands = []
+            for entry in root.entries:
+                if entry.condition is None:
+                    continue
+                if doc_hi < doc_lo or not entry.condition.intersects_docs(
+                    doc_lo, doc_hi
+                ):
+                    continue
+                if entry.types and viable_types and not (
+                    entry.types & viable_types
+                ):
+                    continue
+                cands.append(entry)
+            candidates[key] = cands
+
+        # zone-map level pruning, per pattern edge
+        keep = {
+            node.node_id: list(candidates[term_key_of(node)]) for node in nodes
+        }
+        self._zone_level_prune(keep, nodes)
+
+        scheduler = Scheduler()
+        ingress = scheduler.add_resource("ingress", config.parallelism)
+        term_parts = {key: [] for key in roots}
+        state = {"fetched": 0, "first": None}
+
+        def make_loader(key, entry):
+            def load():
+                postings, holder, receipt = dpp.fetch_block(
+                    src_peer.node, key, entry, doc_lo, doc_hi
+                )
+                state["fetched"] += 1
+                if state["first"] is None:
+                    state["first"] = receipt.duration_s
+                egress = "egress:%d" % holder.peer_index
+                if not scheduler.has_resource(egress):
+                    scheduler.add_resource(egress, 1)
+                scheduler.add_task(
+                    "blk:%s:%d" % (key, entry.seq),
+                    receipt.duration_s,
+                    resources=(egress, ingress),
+                    release=root_time,
+                )
+                term_parts[key].append(postings)
+                return postings
+
+            return load
+
+        # one LazyBlock per surviving (term, block): nodes sharing a term
+        # share the cursor, so a block is transferred at most once
+        lazy_by_entry = {}
+        lazy_per_node = {}
+        for node in nodes:
+            key = term_key_of(node)
+            lazies = []
+            for entry in keep[node.node_id]:
+                cursor = lazy_by_entry.get((key, entry.seq))
+                if cursor is None:
+                    cond = entry.condition
+                    cursor = LazyBlock(
+                        max(cond.lo_doc, doc_lo),
+                        min(cond.hi_doc, doc_hi),
+                        make_loader(key, entry),
+                        count=entry.zone.count if entry.zone else 0,
+                    )
+                    lazy_by_entry[(key, entry.seq)] = cursor
+                lazies.append(cursor)
+            lazy_per_node[node.node_id] = lazies
+
+        result = demand_driven_block_join(component, lazy_per_node)
+
+        makespan = scheduler.run()
+        fetch_time = max(root_time, makespan)
+        self._observe_schedule(scheduler, rel_extra=0.0)
+        fetched = state["fetched"]
+        self._last_dpp_counters = (fetched, total_entries - fetched)
+        self._last_dpp_solutions = (
+            result.solutions, result.vectors_considered
+        )
+        term_lists = {
+            key: PostingList.concat(parts) for key, parts in term_parts.items()
+        }
+        streams = {
+            node.node_id: term_lists[term_key_of(node)] for node in nodes
+        }
+        ttfa = root_time + (state["first"] or 0.0)
+        return streams, fetch_time, ttfa
 
     # -- join pushdown (Section 4.2) ----------------------------------------------
 

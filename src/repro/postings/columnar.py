@@ -276,6 +276,45 @@ class PostingColumns:
                     break
         return PostingColumns._from_sorted_unique(rows)
 
+    @classmethod
+    def concat_sorted(cls, parts):
+        """Ordered union of many column chunks in one pass; returns new columns.
+
+        When consecutive non-empty parts are pairwise disjoint in sort
+        order (each part's first key after the previous part's last key —
+        the DPP block-fetch case, where ordered splits yield disjoint
+        ranges) this is a pure O(total) column concatenation with no key
+        comparisons beyond the boundaries.  Otherwise it falls back to one
+        collect + sort + dedup pass over all rows, which produces exactly
+        the same list as iteratively merging the parts pairwise.
+        """
+        chunks = [part for part in parts if len(part)]
+        if not chunks:
+            return cls()
+        if len(chunks) == 1:
+            return chunks[0].copy()
+        disjoint = all(
+            chunks[i].key(0) > chunks[i - 1].key(len(chunks[i - 1]) - 1)
+            for i in range(1, len(chunks))
+        )
+        if disjoint:
+            out = chunks[0].copy()
+            for part in chunks[1:]:
+                out.extend_cols(part)
+            return out
+        rows = []
+        for part in chunks:
+            rows.extend(part.rows())
+        rows.sort()
+        deduped = []
+        push = deduped.append
+        prev = None
+        for row in rows:
+            if row != prev:
+                push(row)
+                prev = row
+        return cls._from_sorted_unique(deduped)
+
     def extend_cols(self, other):
         """Blind column append (caller guarantees order and uniqueness)."""
         self.peer.extend(other.peer)

@@ -182,6 +182,18 @@ class PostingList:
         kept = [p for p in self.items() if predicate(p)]
         return PostingList._adopt(PostingColumns._from_sorted_unique(kept))
 
+    @classmethod
+    def concat(cls, parts):
+        """Ordered union of many PostingLists in one concat/sort pass.
+
+        Equivalent to folding :meth:`merge` over ``parts`` but O(total)
+        when the parts are range-disjoint (DPP ordered block fetches)
+        instead of quadratic in the number of parts.
+        """
+        return cls._adopt(
+            PostingColumns.concat_sorted([part._cols for part in parts])
+        )
+
     def merge(self, other):
         """Ordered union of two posting lists (does not mutate either)."""
         if isinstance(other, PostingList):

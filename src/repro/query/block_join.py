@@ -21,7 +21,7 @@ equals the join of the merged lists — asserted by differential tests.
 
 import bisect
 
-from repro.query.twigjoin import twig_join
+from repro.query.twigjoin import TwigPlan, twig_join
 
 
 class Block:
@@ -48,6 +48,43 @@ class Block:
             self.doc_lo,
             self.doc_hi,
         )
+
+
+class LazyBlock:
+    """An unfetched DPP block cursor: bounds from the root, data on demand.
+
+    ``doc_lo``/``doc_hi`` come from the block's root condition (clamped to
+    the query's document window), so meaningful-vector enumeration can run
+    over lazy blocks without transferring a single posting.  The first
+    :meth:`realize` call invokes ``loader`` — which performs the simulated
+    fetch, charges the scheduler, and returns the (possibly
+    window-restricted) postings — and caches the resulting :class:`Block`
+    (or None when the restricted fetch comes back empty).  Blocks that no
+    join vector ever touches cost neither simulated bytes nor decode CPU.
+    """
+
+    __slots__ = ("doc_lo", "doc_hi", "count", "loader", "fetched", "_block")
+
+    def __init__(self, doc_lo, doc_hi, loader, count=0):
+        self.doc_lo = doc_lo
+        self.doc_hi = doc_hi
+        self.count = count  # zone-map posting count (rarest-term seeding)
+        self.loader = loader
+        self.fetched = False
+        self._block = None
+
+    def realize(self):
+        if not self.fetched:
+            postings = self.loader()
+            self.fetched = True
+            self.loader = None  # the fetch happens exactly once
+            if postings is not None and len(postings):
+                self._block = Block(postings)
+        return self._block
+
+    def __repr__(self):
+        state = "fetched" if self.fetched else "unfetched"
+        return "LazyBlock(%s, docs %s..%s)" % (state, self.doc_lo, self.doc_hi)
 
 
 def meaningful_vectors(block_lists):
@@ -107,6 +144,7 @@ def parallel_block_join(pattern, blocks_per_node):
     nodes = pattern.nodes()
     block_lists = [blocks_per_node[node.node_id] for node in nodes]
     bound = sum(len(blocks) for blocks in block_lists)
+    plan = TwigPlan(pattern)
     solutions = []
     considered = 0
     for vector in meaningful_vectors(block_lists):
@@ -115,10 +153,68 @@ def parallel_block_join(pattern, blocks_per_node):
             node.node_id: block_lists[i][vector[i]].postings
             for i, node in enumerate(nodes)
         }
-        solutions.extend(twig_join(pattern, streams))
+        solutions.extend(twig_join(pattern, streams, plan=plan))
+    return BlockJoinResult(_finish_solutions(solutions), considered, bound)
+
+
+def _finish_solutions(solutions):
+    """Deduplicate per-vector join outputs and restore global order."""
     unique = {}
     for sol in solutions:
         unique.setdefault(tuple(sorted(sol.items())), sol)
     ordered = list(unique.values())
     ordered.sort(key=lambda sol: tuple(sol[k] for k in sorted(sol)))
-    return BlockJoinResult(ordered, considered, bound)
+    return ordered
+
+
+def demand_driven_block_join(pattern, lazy_blocks_per_node):
+    """The lazy variant: fetch blocks only when a join vector demands them.
+
+    ``lazy_blocks_per_node`` maps node_id → ordered list of
+    :class:`LazyBlock` whose bounds come from root-block conditions.
+    Vector enumeration is seeded from the rarest term (fewest synopsis
+    postings), so its narrow document intervals drive the window and the
+    other terms' blocks are only ever touched where they overlap.  Each
+    vector realizes its blocks in that order, abandoning the vector — and
+    skipping the remaining fetches — as soon as a realized block is empty
+    or the realized document spans stop intersecting (realized bounds can
+    only tighten the condition bounds, never widen them, so dropping such
+    vectors loses no solutions).  ``vectors_considered`` counts the vectors
+    that actually reached a per-vector join, mirroring the eager
+    semantics where only non-empty fetched blocks enter the enumeration.
+    """
+    nodes = pattern.nodes()
+    block_lists = [lazy_blocks_per_node[node.node_id] for node in nodes]
+    bound = sum(len(blocks) for blocks in block_lists)
+    # rarest term first: ascending synopsis posting count, stable on ties
+    order = sorted(
+        range(len(nodes)),
+        key=lambda i: (sum(b.count for b in block_lists[i]), i),
+    )
+    ordered_lists = [block_lists[i] for i in order]
+    plan = TwigPlan(pattern)
+    solutions = []
+    considered = 0
+    for vector in meaningful_vectors(ordered_lists):
+        blocks = []
+        window_lo, window_hi = (0, 0), (float("inf"), float("inf"))
+        for lst, i in zip(ordered_lists, vector):
+            block = lst[i].realize()
+            if block is None:
+                blocks = None
+                break
+            window_lo = max(window_lo, block.doc_lo)
+            window_hi = min(window_hi, block.doc_hi)
+            if window_lo > window_hi:
+                blocks = None
+                break
+            blocks.append(block)
+        if blocks is None:
+            continue
+        considered += 1
+        streams = {
+            nodes[node_pos].node_id: block.postings
+            for node_pos, block in zip(order, blocks)
+        }
+        solutions.extend(twig_join(pattern, streams, plan=plan))
+    return BlockJoinResult(_finish_solutions(solutions), considered, bound)

@@ -106,35 +106,35 @@ class _StackEntry:
         self.parent_ptr = parent_ptr
 
 
-class TwigJoin:
-    """One twig-join execution over a set of streams."""
+class TwigPlan:
+    """Pattern-static structures shared by every join over one pattern.
 
-    def __init__(self, pattern, streams):
+    The per-subtree leaf sets, root-to-leaf paths, and chain detection
+    depend only on the pattern shape, not on the streams.  The block-based
+    join of Section 4.2 runs one :class:`TwigJoin` per meaningful block
+    vector over the *same* pattern, so hoisting this out of
+    ``TwigJoin.__init__`` makes the per-vector setup O(streams) instead of
+    O(pattern traversals).
+    """
+
+    __slots__ = ("pattern", "nodes", "leaf_ids", "paths", "chain")
+
+    def __init__(self, pattern):
         self.pattern = pattern
         self.nodes = pattern.nodes()
-        missing = [n for n in self.nodes if n.node_id not in streams]
-        if missing:
-            raise ValueError("no stream for pattern nodes %r" % (missing,))
-        self.streams = {
-            n.node_id: _Stream(streams[n.node_id]) for n in self.nodes
-        }
-        # leaf streams per subtree: exhaustion checks reduce to eof scans
-        self._leaf_streams = {}
+        # leaf node_ids per subtree: exhaustion checks reduce to eof scans
+        self.leaf_ids = {}
         for node in self.nodes:
-            leaves = self._leaf_streams[node.node_id] = []
+            leaves = self.leaf_ids[node.node_id] = []
             frontier = [node]
             while frontier:
                 cur = frontier.pop()
                 if cur.is_leaf:
-                    leaves.append(self.streams[cur.node_id])
+                    leaves.append(cur.node_id)
                 else:
                     frontier.extend(cur.children)
-        self.stacks = {n.node_id: [] for n in self.nodes}
-        self.path_solutions = {
-            n.node_id: [] for n in self.nodes if n.is_leaf
-        }
         # root..leaf node path per leaf, hoisted out of the emit hot path
-        self._paths = {}
+        self.paths = {}
         for node in self.nodes:
             if node.is_leaf:
                 path = []
@@ -143,7 +143,7 @@ class TwigJoin:
                     path.append(cur)
                     cur = cur.parent
                 path.reverse()
-                self._paths[node.node_id] = path
+                self.paths[node.node_id] = path
         # chain patterns (every node has at most one child) run through an
         # unrolled, allocation-free version of the TwigStack loop
         node = pattern.root
@@ -151,7 +151,33 @@ class TwigJoin:
         while len(node.children) == 1:
             node = node.children[0]
             chain.append(node)
-        self._chain = chain if not node.children else None
+        self.chain = chain if not node.children else None
+
+
+class TwigJoin:
+    """One twig-join execution over a set of streams."""
+
+    def __init__(self, pattern, streams, plan=None):
+        if plan is None:
+            plan = TwigPlan(pattern)
+        self.pattern = plan.pattern
+        self.nodes = plan.nodes
+        missing = [n for n in self.nodes if n.node_id not in streams]
+        if missing:
+            raise ValueError("no stream for pattern nodes %r" % (missing,))
+        self.streams = {
+            n.node_id: _Stream(streams[n.node_id]) for n in self.nodes
+        }
+        self._leaf_streams = {
+            node_id: [self.streams[leaf_id] for leaf_id in leaf_ids]
+            for node_id, leaf_ids in plan.leaf_ids.items()
+        }
+        self.stacks = {n.node_id: [] for n in self.nodes}
+        self.path_solutions = {
+            n.node_id: [] for n in self.nodes if n.is_leaf
+        }
+        self._paths = plan.paths
+        self._chain = plan.chain
         self.postings_consumed = 0
 
     # -- TwigStack ----------------------------------------------------------
@@ -390,11 +416,13 @@ class TwigJoin:
         return result
 
 
-def twig_join(pattern, streams):
+def twig_join(pattern, streams, plan=None):
     """Run a holistic twig join.
 
     ``streams`` maps ``node_id`` to an iterable of postings in
     ``(p, d, sid)`` order.  Returns the list of binding dicts
-    (``node_id → Posting``), in lexicographic output order.
+    (``node_id → Posting``), in lexicographic output order.  Callers that
+    join many stream sets over one pattern (the per-vector block joins)
+    pass a shared :class:`TwigPlan` to skip the pattern-shape setup.
     """
-    return TwigJoin(pattern, streams).run()
+    return TwigJoin(pattern, streams, plan=plan).run()

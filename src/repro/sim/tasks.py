@@ -24,11 +24,16 @@ class Task:
     ``duration``   simulated seconds of work once started.
     ``deps``       tasks that must finish before this one may start.
     ``resources``  names of resources a slot of which is held while running.
+    ``release``    earliest simulated instant the task may start, even when
+                   all dependencies are done (models work submitted to an
+                   already-running schedule, e.g. a lazy DPP block fetch
+                   demanded mid-join).
 
     After :meth:`Scheduler.run`, ``start``/``finish`` hold the schedule,
-    ``ready`` the instant all dependencies were done (so ``start - ready``
-    is the queue wait), and ``blocked_on`` the resource that last had no
-    free slot when the task was passed over (None if it started at once).
+    ``ready`` the instant the task became startable (dependencies done and
+    release time reached, so ``start - ready`` is the queue wait), and
+    ``blocked_on`` the resource that last had no free slot when the task
+    was passed over (None if it started at once).
     """
 
     __slots__ = (
@@ -36,6 +41,7 @@ class Task:
         "duration",
         "deps",
         "resources",
+        "release",
         "seq",
         "start",
         "finish",
@@ -43,13 +49,16 @@ class Task:
         "blocked_on",
     )
 
-    def __init__(self, name, duration, deps=(), resources=()):
+    def __init__(self, name, duration, deps=(), resources=(), release=0.0):
         if duration < 0:
             raise ValueError("task %r has negative duration %r" % (name, duration))
+        if release < 0:
+            raise ValueError("task %r has negative release %r" % (name, release))
         self.name = name
         self.duration = float(duration)
         self.deps = list(deps)
         self.resources = tuple(resources)
+        self.release = float(release)
         self.seq = None  # assigned by the scheduler
         self.start = None
         self.finish = None
@@ -82,9 +91,9 @@ class Scheduler:
         """``{resource: capacity}`` of every declared resource."""
         return dict(self._capacity)
 
-    def add_task(self, name, duration, deps=(), resources=()):
+    def add_task(self, name, duration, deps=(), resources=(), release=0.0):
         """Create, register, and return a :class:`Task`."""
-        task = Task(name, duration, deps=deps, resources=resources)
+        task = Task(name, duration, deps=deps, resources=resources, release=release)
         for res in task.resources:
             if res not in self._capacity:
                 raise KeyError("unknown resource %r for task %r" % (res, name))
@@ -119,10 +128,17 @@ class Scheduler:
         # event.  The start scan pops in seq order — exactly the order the
         # sorted-list implementation used — so schedules are byte-identical.
         ready = []
+        # Tasks whose dependencies are done but whose release time lies in
+        # the future wait in ``pending`` (a min-heap on release) and are
+        # admitted to the ready queue when simulated time reaches them.
+        pending = []
         for t in self._tasks:
             if not remaining_deps[t.seq]:
-                t.ready = 0.0
-                ready.append(t.seq)
+                if t.release > 0.0:
+                    heapq.heappush(pending, (t.release, t.seq, t))
+                else:
+                    t.ready = 0.0
+                    ready.append(t.seq)
         heapq.heapify(ready)
         running = []  # heap of (finish_time, seq, task)
         now = 0.0
@@ -150,20 +166,32 @@ class Scheduler:
             ready = blocked
 
         try_start()
-        while running:
-            now, _, done = heapq.heappop(running)
-            batch = [done]
-            while running and running[0][0] == now:
-                batch.append(heapq.heappop(running)[2])
-            for task in batch:
-                completed += 1
-                for r in task.resources:
-                    free[r] += 1
-                for child in dependents[task.seq]:
-                    remaining_deps[child.seq] -= 1
-                    if not remaining_deps[child.seq]:
-                        child.ready = now
-                        heapq.heappush(ready, child.seq)
+        while running or pending:
+            if running and (not pending or running[0][0] <= pending[0][0]):
+                now, _, done = heapq.heappop(running)
+                batch = [done]
+                while running and running[0][0] == now:
+                    batch.append(heapq.heappop(running)[2])
+                for task in batch:
+                    completed += 1
+                    for r in task.resources:
+                        free[r] += 1
+                    for child in dependents[task.seq]:
+                        remaining_deps[child.seq] -= 1
+                        if not remaining_deps[child.seq]:
+                            if child.release > now:
+                                heapq.heappush(
+                                    pending, (child.release, child.seq, child)
+                                )
+                            else:
+                                child.ready = now
+                                heapq.heappush(ready, child.seq)
+            else:
+                now = pending[0][0]
+            while pending and pending[0][0] <= now:
+                _, seq, task = heapq.heappop(pending)
+                task.ready = now
+                heapq.heappush(ready, seq)
             try_start()
 
         if completed != len(self._tasks):

@@ -8,9 +8,12 @@ from hypothesis import given, settings, strategies as st
 from repro.index.publisher import extract_postings
 from repro.kadop.execution import term_key_of
 from repro.postings.plist import PostingList
+from repro.postings.posting import Posting
 from repro.query.block_join import (
     Block,
     BlockJoinResult,
+    LazyBlock,
+    demand_driven_block_join,
     meaningful_vectors,
     parallel_block_join,
 )
@@ -152,6 +155,124 @@ def test_block_join_equals_merged_join(seed):
     ]
     assert isinstance(result, BlockJoinResult)
     assert result.vectors_bound == sum(len(b) for b in blocks.values())
+
+
+def _lazy_wrap(blocks_per_node, calls):
+    """Wrap eager blocks as LazyBlocks whose loaders log into ``calls``."""
+    lazy = {}
+    for nid, blist in blocks_per_node.items():
+        lazy_list = []
+        for i, block in enumerate(blist):
+            def loader(plist=block.postings, tag=(nid, i)):
+                calls.append(tag)
+                return plist
+
+            lazy_list.append(
+                LazyBlock(
+                    block.doc_lo, block.doc_hi, loader,
+                    count=len(block.postings),
+                )
+            )
+        lazy[nid] = lazy_list
+    return lazy
+
+
+class TestLazyBlocks:
+    def test_realize_fetches_exactly_once(self):
+        calls = []
+        plist = PostingList([Posting(0, 0, 1, 2, 1)])
+
+        def loader():
+            calls.append(1)
+            return plist
+
+        lazy = LazyBlock((0, 0), (0, 0), loader, count=1)
+        assert not lazy.fetched
+        first = lazy.realize()
+        second = lazy.realize()
+        assert first is second
+        assert first.postings is plist
+        assert calls == [1]
+        assert lazy.fetched
+        assert lazy.loader is None
+
+    def test_empty_realization_caches_none(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return PostingList()
+
+        lazy = LazyBlock((0, 0), (0, 0), loader)
+        assert lazy.realize() is None
+        assert lazy.realize() is None
+        assert calls == [1]
+
+    def test_blocks_outside_every_vector_stay_unfetched(self):
+        pattern = parse_query("//a//b")
+        a_id, b_id = (n.node_id for n in pattern.nodes())
+        a_near = PostingList([Posting(0, 0, 1, 10, 0)])
+        b_near = PostingList([Posting(0, 0, 2, 3, 1)])
+        b_far = PostingList([Posting(0, 9, 2, 3, 1)])  # no 'a' near doc 9
+        calls = []
+        lazy = _lazy_wrap(
+            {a_id: [Block(a_near)], b_id: [Block(b_near), Block(b_far)]},
+            calls,
+        )
+        result = demand_driven_block_join(pattern, lazy)
+        assert len(result.solutions) == 1
+        # the doc-9 'b' block intersects no 'a' block: never demanded
+        assert (b_id, 1) not in calls
+        assert not lazy[b_id][1].fetched
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_demand_join_matches_eager_block_join(seed):
+    """Differential: the demand-driven lazy join returns exactly the eager
+    parallel join's solutions, fetches each block at most once, and shares
+    the same vector bound."""
+    rng = random.Random(seed)
+    docs = []
+    for d in range(rng.randint(1, 4)):
+        parts = []
+
+        def build(depth, budget):
+            label = rng.choice("ab")
+            parts.append("<%s>" % label)
+            for _ in range(0 if depth > 3 else rng.randint(0, 3)):
+                if budget[0] <= 0:
+                    break
+                budget[0] -= 1
+                build(depth + 1, budget)
+            parts.append("</%s>" % label)
+
+        build(0, [12])
+        docs.append(parse_document("".join(parts)))
+
+    pattern = parse_query(rng.choice(["//a//b", "//a/b", "//a//a", "//b//a//b"]))
+    streams = {node.node_id: PostingList() for node in pattern.nodes()}
+    for d, doc in enumerate(docs):
+        extracted = extract_postings(doc, 0, d)
+        for node in pattern.nodes():
+            key = term_key_of(node)
+            streams[node.node_id] = streams[node.node_id].merge(
+                PostingList(extracted.get(key, []))
+            )
+    if any(not len(s) for s in streams.values()):
+        return
+
+    blocks = {
+        nid: _blocks_from_stream(stream, rng.randint(0, 4), rng)
+        for nid, stream in streams.items()
+    }
+    eager = parallel_block_join(pattern, blocks)
+    calls = []
+    lazy = demand_driven_block_join(pattern, _lazy_wrap(blocks, calls))
+    assert lazy.solutions == eager.solutions
+    assert lazy.vectors_bound == eager.vectors_bound
+    assert len(calls) == len(set(calls))  # at most one fetch per block
+    assert len(calls) <= sum(len(b) for b in blocks.values())
 
 
 class TestExecutorIntegration:

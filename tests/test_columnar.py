@@ -95,6 +95,53 @@ class TestMergeKernel:
         assert [tuple(p) for p in pl.items()] == reference_union(base, extra)
 
 
+class TestConcatKernel:
+    @given(st.lists(posting_lists, max_size=6))
+    def test_concat_sorted_matches_iterative_merge(self, parts):
+        # the kernel replacing the quadratic pairwise fold in _fetch_dpp
+        # must be output-identical to it
+        reference = PostingColumns()
+        for part in parts:
+            reference = reference.merge(cols_of(part))
+        concat = PostingColumns.concat_sorted([cols_of(p) for p in parts])
+        assert as_tuples(concat) == as_tuples(reference)
+
+    def test_disjoint_parts_take_pure_concat_path(self):
+        parts = [
+            cols_of([(0, d, s, s + 1, 1) for s in range(1, 30)])
+            for d in range(4)
+        ]
+        concat = PostingColumns.concat_sorted(parts)
+        expected = [t for part in parts for t in as_tuples(part)]
+        assert as_tuples(concat) == expected
+
+    def test_overlapping_parts_sort_and_dedup(self):
+        a = cols_of([(0, 0, 1, 2, 1), (0, 2, 5, 6, 1)])
+        b = cols_of([(0, 1, 3, 4, 1), (0, 2, 5, 6, 1)])
+        concat = PostingColumns.concat_sorted([a, b])
+        assert as_tuples(concat) == [
+            (0, 0, 1, 2, 1), (0, 1, 3, 4, 1), (0, 2, 5, 6, 1),
+        ]
+
+    def test_empty_parts_dropped(self):
+        assert len(PostingColumns.concat_sorted([])) == 0
+        only = cols_of([(0, 0, 1, 2, 1)])
+        concat = PostingColumns.concat_sorted([cols_of([]), only, cols_of([])])
+        assert as_tuples(concat) == as_tuples(only)
+        # single-part path must copy, not alias, the input columns
+        concat.extend_sorted(cols_of([(9, 9, 9, 10, 1)]))
+        assert len(only) == 1
+
+    @given(st.lists(posting_lists, max_size=5))
+    def test_posting_list_concat_facade(self, parts):
+        plists = [PostingList(p) for p in parts]
+        folded = PostingList()
+        for pl in plists:
+            folded = folded.merge(pl)
+        concat = PostingList.concat(plists)
+        assert concat.items() == folded.items()
+
+
 class TestGallopingRanges:
     @given(
         posting_lists,

@@ -7,6 +7,7 @@ import pytest
 from repro.dht.network import DhtNetwork
 from repro.dht.nodeid import DIGITS, NodeId, key_id
 from repro.errors import DhtError, NoSuchPeerError
+from repro.postings.encoder import encoded_size
 from repro.postings.plist import PostingList
 from repro.postings.posting import Posting
 
@@ -126,6 +127,53 @@ class TestDhtApi:
         net = DhtNetwork.create(4, replication=1)
         chunks, _ = net.pipelined_get(net.nodes[0], "none")
         assert chunks == []
+
+    def test_pipelined_get_emptied_key(self):
+        net = DhtNetwork.create(4, replication=1)
+        src = net.nodes[0]
+        net.append(src, "t", [P(1)])
+        net.delete(src, "t")
+        chunks, receipt = net.pipelined_get(src, "t")
+        assert chunks == []
+        assert receipt.response_bytes == 0
+        # still pays the locate plus the fixed per-op latencies of an
+        # empty first "chunk" — but no payload-proportional cost
+        _, locate_receipt = net.locate(src, "t", _observe=False)
+        expected = (
+            locate_receipt.duration_s
+            + net.cost.disk_read_time(0)
+            + net.cost.transfer_time(0, hops=1)
+        )
+        assert receipt.duration_s == pytest.approx(expected)
+
+    def test_pipelined_get_exact_chunk_boundary(self):
+        net = DhtNetwork.create(6, replication=1)
+        src = net.nodes[0]
+        net.append(src, "t", [P(i) for i in range(16)])
+        chunks, receipt = net.pipelined_get(src, "t", chunk_postings=16)
+        assert [len(c) for c in chunks] == [16]
+        full, _ = net.get(src, "t")
+        assert chunks[0].items() == full.items()
+        assert receipt.response_bytes == encoded_size(chunks[0])
+
+    def test_pipelined_get_receipt_covers_first_chunk_only(self):
+        net = DhtNetwork.create(6, replication=1)
+        src = net.nodes[0]
+        net.append(src, "t", [P(i) for i in range(64)])
+        chunks, receipt = net.pipelined_get(src, "t", chunk_postings=16)
+        assert [len(c) for c in chunks] == [16, 16, 16, 16]
+        # duration is time-to-first-data: locate + disk + one-hop transfer
+        # of the first chunk only; later chunks are the executor's problem
+        _, locate_receipt = net.locate(src, "t", _observe=False)
+        first = encoded_size(chunks[0])
+        expected = (
+            locate_receipt.duration_s
+            + net.cost.disk_read_time(first)
+            + net.cost.transfer_time(first, hops=1)
+        )
+        assert receipt.duration_s == pytest.approx(expected)
+        # ...but the byte accounting covers the whole list
+        assert receipt.response_bytes == sum(encoded_size(c) for c in chunks)
 
     def test_traffic_recorded(self):
         net = DhtNetwork.create(6, replication=1)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dht.network import DhtNetwork
-from repro.index.dpp import Condition, DppIndex, overflow_key
+from repro.index.dpp import ZONE_BYTES, Condition, DppIndex, overflow_key
 from repro.kadop.config import KadopConfig
 from repro.kadop.system import KadopNetwork
 from repro.postings.plist import PostingList
@@ -190,6 +190,67 @@ class TestDppQueryEquivalence:
         assert report.blocks_skipped > 0
         answers, _ = net.query_with_report("//r[//rare]//a")
         assert len(answers) == 30  # only the doc with 'rare'
+
+
+class TestZoneMaps:
+    """Per-block synopses (count, start span, level span) on the root."""
+
+    def _root(self, net, key):
+        return net.owner_of(key).objects[DppIndex.ROOT_KEY_PREFIX + key][0]
+
+    def test_zones_exactly_cover_block_contents(self, dpp_net):
+        net, dpp = dpp_net
+        postings = [
+            Posting(0, i % 5, i, i + 3, i % 4) for i in range(1, 80, 2)
+        ]
+        dpp.append(net.nodes[0], "t", postings)
+        assert dpp.block_count("t") >= 2
+        total = 0
+        for entry in self._root(net, "t").entries:
+            zone = entry.zone
+            assert zone is not None
+            block, _, _ = dpp.fetch_block(net.nodes[0], "t", entry)
+            assert zone.count == len(block)
+            assert zone.min_start == min(p.start for p in block)
+            assert zone.max_start == max(p.start for p in block)
+            assert zone.min_level == min(p.level for p in block)
+            assert zone.max_level == max(p.level for p in block)
+            total += len(block)
+        assert total == len(postings)
+
+    def test_zone_widens_across_appends(self, dpp_net):
+        net, dpp = dpp_net
+        dpp.append(net.nodes[0], "t", [P(i) for i in range(1, 6)])
+        zone = self._root(net, "t").entries[0].zone
+        assert (zone.min_start, zone.max_start, zone.count) == (1, 5, 5)
+        dpp.append(net.nodes[0], "t", [P(i) for i in range(6, 9)])
+        zone = self._root(net, "t").entries[0].zone
+        assert (zone.min_start, zone.max_start, zone.count) == (1, 8, 8)
+
+    def test_split_zones_partition_the_start_range(self, dpp_net):
+        net, dpp = dpp_net
+        # single doc, ascending starts: block order == start order, so
+        # post-split zones must carry disjoint, increasing start spans
+        dpp.append(net.nodes[0], "t", [P(i) for i in range(1, 31)])
+        entries = self._root(net, "t").entries
+        assert len(entries) >= 2
+        for prev, cur in zip(entries, entries[1:]):
+            assert prev.zone.max_start < cur.zone.min_start
+
+    def test_encoded_bytes_include_zones(self, dpp_net):
+        net, dpp = dpp_net
+        dpp.append(net.nodes[0], "t", [P(i) for i in range(1, 31)])
+        root = self._root(net, "t")
+        with_zones = root.encoded_bytes()
+        saved = [entry.zone for entry in root.entries]
+        try:
+            for entry in root.entries:
+                entry.zone = None
+            without = root.encoded_bytes()
+        finally:
+            for entry, zone in zip(root.entries, saved):
+                entry.zone = zone
+        assert with_zones == without + ZONE_BYTES * len(root.entries)
 
 
 class TestTypeFiltering:

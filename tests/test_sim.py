@@ -198,6 +198,49 @@ class TestScheduler:
             assert task.ready is None
             assert task.blocked_on is None
 
+    def test_release_delays_start(self):
+        s = Scheduler()
+        t = s.add_task("t", 1.0, release=5.0)
+        assert s.run() == pytest.approx(6.0)
+        assert t.ready == pytest.approx(5.0)
+        assert t.start == pytest.approx(5.0)
+
+    def test_release_interacts_with_deps(self):
+        s = Scheduler()
+        a = s.add_task("a", 2.0)
+        b = s.add_task("b", 1.0, deps=[a], release=0.5)  # deps dominate
+        c = s.add_task("c", 1.0, deps=[a], release=4.0)  # release dominates
+        assert s.run() == pytest.approx(5.0)
+        assert b.start == pytest.approx(2.0)
+        assert c.ready == pytest.approx(4.0)
+        assert c.start == pytest.approx(4.0)
+
+    def test_release_waits_for_contended_resource(self):
+        s = Scheduler()
+        s.add_resource("link", 1)
+        a = s.add_task("a", 3.0, resources=["link"])
+        b = s.add_task("b", 1.0, resources=["link"], release=1.0)
+        assert s.run() == pytest.approx(4.0)
+        assert b.ready == pytest.approx(1.0)
+        assert b.start == pytest.approx(3.0)
+
+    def test_zero_release_schedule_unchanged(self):
+        def build(**extra):
+            s = Scheduler()
+            s.add_resource("link", 2)
+            a = s.add_task("a", 1.0, resources=["link"])
+            b = s.add_task("b", 2.0, resources=["link"], **extra)
+            c = s.add_task("c", 0.5, deps=[a, b])
+            s.run()
+            return [(t.ready, t.start, t.finish) for t in (a, b, c)]
+
+        assert build() == build(release=0.0)
+
+    def test_negative_release_rejected(self):
+        s = Scheduler()
+        with pytest.raises(ValueError):
+            s.add_task("t", 1.0, release=-0.1)
+
     def test_rerun_after_cycle_fix(self):
         s = Scheduler()
         a = s.add_task("a", 1.0)
