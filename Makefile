@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace bench-micro bench bench-views bench-blocks
+.PHONY: test test-all lint trace fuzz-smoke bench-micro bench bench-views bench-blocks
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -16,6 +16,15 @@ lint:
 # Perfetto trace of the demo query mix -> trace.json
 trace:
 	$(PY) -m repro trace demo --out trace.json
+
+# fixed-seed fuzzing sweep of the fault-injection layer (~30s budget);
+# a failure prints the offending seed's one-line repro command
+fuzz-smoke:
+	$(PY) -m repro fuzz --seed 0 --iterations 200
+	$(PY) -m repro fuzz --seed 1000 --iterations 60 --overlay chord
+	$(PY) -m repro fuzz --seed 5000 --iterations 60 --write-quorum majority
+	$(PY) -m repro fuzz --seed 9000 --iterations 40 --crash-rate 0.15 \
+		--drop-rate 0.1 --delay-rate 0.1 --duplicate-rate 0.1
 
 # everything, including the slow experiment regenerations
 test-all:

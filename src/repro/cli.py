@@ -10,6 +10,8 @@ Usage::
     python -m repro trace "//article//author" -o q.json
     python -m repro profile views            # top spans + utilization
     python -m repro stats --json             # machine-readable load stats
+    python -m repro fuzz --iterations 200    # fault-injection fuzzing
+    python -m repro fuzz --seed 5076 --iterations 1 --write-quorum majority
 
 Each experiment prints the paper-style rows and verifies its qualitative
 shape (the same checks the benchmark suite asserts).  ``trace`` writes
@@ -29,6 +31,7 @@ def _registry():
     from repro.experiments import (
         block_pruning,
         dpp_order_ablation,
+        fault_tolerance,
         optimizer_eval,
         fig2_indexing,
         fig3_query,
@@ -127,6 +130,12 @@ def _registry():
             view_warmup.format_rows,
             view_warmup.check_shape,
             "Materialized views: repeated-query warmup crossover",
+        ),
+        "faults": (
+            fault_tolerance.run,
+            fault_tolerance.format_rows,
+            fault_tolerance.check_shape,
+            "Section 4.2 ablation: completeness/latency vs. crash rate",
         ),
     }
 
@@ -335,6 +344,66 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_fuzz(args):
+    """Run the seed-reproducible scenario fuzzer (repro.sim.fuzz)."""
+    from repro.sim.fuzz import FuzzConfig, FuzzFailure, run_fuzz
+
+    config = FuzzConfig(
+        iterations=args.iterations,
+        steps=args.steps,
+        num_peers=args.peers,
+        replication=args.replication,
+        crash_rate=args.crash_rate,
+        drop_rate=args.drop_rate,
+        delay_rate=args.delay_rate,
+        duplicate_rate=args.duplicate_rate,
+        overlay=args.overlay,
+        write_quorum=args.write_quorum,
+    )
+    progress = None
+    if not getattr(args, "json", False):
+        def progress(seed, result):
+            if result.iterations % 50 == 0:
+                print(
+                    "  ...%d iteration(s) done (last seed %d)"
+                    % (result.iterations, seed)
+                )
+    started = time.time()
+    try:
+        result = run_fuzz(seed=args.seed, config=config, progress=progress)
+    except FuzzFailure as failure:
+        # the one-line repro lands in CI job output via stderr
+        print(str(failure), file=sys.stderr)
+        return 1
+    seconds = time.time() - started
+    if getattr(args, "json", False):
+        payload = result.to_dict()
+        payload["seconds"] = seconds
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        "fuzz: %d iteration(s) x %d steps passed in %.1fs "
+        "(seeds %d..%d, %d queries checked)"
+        % (
+            result.iterations,
+            config.steps,
+            seconds,
+            args.seed,
+            args.seed + config.iterations - 1,
+            result.queries_checked,
+        )
+    )
+    print(
+        "  actions: %s"
+        % ", ".join("%s=%d" % kv for kv in sorted(result.actions.items()))
+    )
+    print(
+        "  faults:  %s"
+        % ", ".join("%s=%d" % kv for kv in sorted(result.faults.items()))
+    )
+    return 0
+
+
 def cmd_demo(_args):
     from repro.kadop.config import KadopConfig
     from repro.kadop.system import KadopNetwork
@@ -408,6 +477,34 @@ def main(argv=None):
         "--top", type=int, default=12, help="rows in the top-span table"
     )
     profile_parser.set_defaults(func=cmd_profile)
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="seed-reproducible scenario fuzzer for the fault layer",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument(
+        "--iterations", type=int, default=20,
+        help="independent scenarios; seeds are seed..seed+iterations-1",
+    )
+    fuzz_parser.add_argument(
+        "--steps", type=int, default=12, help="random actions per scenario"
+    )
+    fuzz_parser.add_argument("--peers", type=int, default=8)
+    fuzz_parser.add_argument("--replication", type=int, default=3)
+    fuzz_parser.add_argument("--crash-rate", type=float, default=0.05)
+    fuzz_parser.add_argument("--drop-rate", type=float, default=0.02)
+    fuzz_parser.add_argument("--delay-rate", type=float, default=0.02)
+    fuzz_parser.add_argument("--duplicate-rate", type=float, default=0.02)
+    fuzz_parser.add_argument(
+        "--overlay", choices=("pastry", "chord"), default="pastry"
+    )
+    fuzz_parser.add_argument(
+        "--write-quorum", choices=("all", "majority"), default="all"
+    )
+    fuzz_parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON summary"
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
     args = parser.parse_args(argv)
     return args.func(args)
 

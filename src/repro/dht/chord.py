@@ -17,6 +17,14 @@ Chord facts implemented:
 * replication: a key's replicas are the owner's ``r`` successors (which
   :meth:`repro.dht.network.DhtNetwork.replica_nodes` realizes when the
   overlay is Chord).
+
+Successor-list replication is also what makes Chord's failure handover
+cheap: when an owner leaves or crashes, ``successor(k)`` moves to the
+next node clockwise — which, being the first successor, already holds a
+replica of every key it inherits.  The churn tests and the fault fuzzer
+(``repro.sim.fuzz --overlay chord``) exercise exactly this property;
+``remove_node`` only has to copy keys whose *entire* successor window
+died.
 """
 
 import bisect

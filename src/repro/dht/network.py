@@ -17,6 +17,20 @@ recording the hops taken, the bytes moved (also logged to the global
 :class:`~repro.sim.meter.TrafficMeter`), and the simulated duration.
 Requests are routed multi-hop over the overlay; bulk responses flow over a
 direct connection (one hop), as in the real system.
+
+Fault tolerance (:mod:`repro.faults`): when a :class:`FaultPlan` is
+installed on :attr:`DhtNetwork.faults`, every operation consults it at its
+injection points — requests and bulk responses can be dropped (the op
+retries with the network's :class:`~repro.faults.RetryPolicy`, each lost
+copy metered and each wait charged in simulated time), delayed, or
+duplicated (idempotent delivery: the duplicate is metered as wire traffic
+but not double-counted in the op's receipt); peers can crash between
+routing hops, before applying a write, or between pipelined chunks.
+Writes acknowledge on a replica quorum (:attr:`DhtNetwork.write_quorum`)
+and :meth:`DhtNetwork.anti_entropy_repair` re-replicates what a crash left
+under-replicated.  With no plan installed — or a plan whose rates are all
+zero — every byte, hop, and simulated second is identical to the original
+code path (the differential test in ``tests/test_faults.py``).
 """
 
 from dataclasses import dataclass, field
@@ -24,6 +38,7 @@ from dataclasses import dataclass, field
 from repro.dht.nodeid import NodeId, key_id
 from repro.dht.routing import RoutingState
 from repro.errors import DhtError, NoSuchPeerError
+from repro.faults import OpTimeoutError, RepairReport, RetryPolicy
 from repro.postings.encoder import encoded_size
 from repro.postings.plist import PostingList
 from repro.sim.cost import CostModel
@@ -57,10 +72,20 @@ class OpReceipt:
     response_bytes: int = 0
     duration_s: float = 0.0
 
-    def merge(self, other):
+    def merge(self, other, count_bytes=True):
+        """Fold ``other`` into this receipt.
+
+        ``count_bytes=False`` merges the hop/latency effects of a message
+        the *network* duplicated without charging its bytes again: the op
+        sent those bytes once, so counting the spontaneous second delivery
+        would double-bill the operation (the wire copy still lands in the
+        :class:`~repro.sim.meter.TrafficMeter`, which counts every copy
+        actually transmitted).
+        """
         self.hops += other.hops
-        self.request_bytes += other.request_bytes
-        self.response_bytes += other.response_bytes
+        if count_bytes:
+            self.request_bytes += other.request_bytes
+            self.response_bytes += other.response_bytes
         self.duration_s += other.duration_s
         return self
 
@@ -82,6 +107,9 @@ class DhtNode:
             raise ValueError("unknown overlay %r" % (overlay,))
         self.store = store
         self.objects = {}  # key -> (object, nbytes): DPP roots, catalog rows
+        # key -> stamp of the last logical write applied to this copy (see
+        # DhtNetwork.next_stamp); pure metadata, never metered
+        self.versions = {}
         self.alive = True
 
     def __repr__(self):
@@ -112,6 +140,26 @@ class DhtNetwork:
         self.tracer = None
         self.metrics = None
         self._last_path = None  # hop path of the most recent traced route
+        # fault injection (repro.faults): a FaultPlan consulted by every
+        # op when installed (KadopNetwork.install_faults); None = no faults
+        self.faults = None
+        self.retry = RetryPolicy()
+        self.write_quorum = "all"  # or "majority": acks needed per write
+        self._write_stamp = 0  # source of next_stamp()
+
+    def next_stamp(self):
+        """Monotonic version for one logical write event.
+
+        Every physical copy written as part of the event carries the same
+        stamp; repair, restart resync, and join handover reconcile
+        divergent copies by *highest stamp* rather than by size.  Size is
+        not a usable proxy here: a rewrite (block split, delete) makes the
+        fresh copy smaller than a stale pre-rewrite one, which an
+        unversioned "most complete wins" pass would then resurrect and
+        spread.  Stamps are metadata only — they cost no metered bytes and
+        leave zero-fault runs byte-identical."""
+        self._write_stamp += 1
+        return self._write_stamp
 
     # -- membership ------------------------------------------------------------
 
@@ -154,23 +202,32 @@ class DhtNetwork:
         replicas = self.replica_nodes(key)
         if joined not in replicas:
             return
-        source = next(
-            (
-                n
-                for n in self.alive_nodes()
-                if n is not joined and (key in n.store or key in n.objects)
+        holders = [
+            n
+            for n in self.alive_nodes()
+            if n is not joined and (key in n.store or key in n.objects)
+        ]
+        source = max(
+            holders,
+            key=lambda n: (
+                n.versions.get(key, 0),
+                n.store.count(key) if key in n.store else 0,
+                -n.peer_index,
             ),
-            None,
+            default=None,
         )
         if source is None:
             return
+        version = source.versions.get(key, 0)
         if key in source.store:
             postings = source.store.get(key)
             joined.store.append(key, postings)
+            joined.versions[key] = version
             self.meter.record("postings", encoded_size(postings))
         if key in source.objects:
             obj, nbytes = source.objects[key]
             joined.objects[key] = (obj, nbytes)
+            joined.versions[key] = version
             self.meter.record("control", nbytes)
 
     def remove_node(self, node, rehome=True):
@@ -190,6 +247,166 @@ class DhtNetwork:
         if rehome:
             for key in owned:
                 self._rehome_key(key, failed=node)
+
+    def crash_node(self, node):
+        """Fail ``node`` abruptly: its disk state survives, nothing is
+        handed over, and keys it held become under-replicated until
+        :meth:`anti_entropy_repair` or :meth:`restart_node` runs.  This is
+        the mid-operation failure mode of :mod:`repro.faults` — contrast
+        :meth:`remove_node`, the graceful leave that re-homes keys."""
+        if not node.alive:
+            raise NoSuchPeerError("node already down: %r" % (node,))
+        node.alive = False
+        del self._by_id[int(node.node_id)]
+        self._rebuild_routing()
+        self._observe_fault("crash", node.uri)
+
+    def restart_node(self, node):
+        """Rejoin a crashed node, reconciling its (possibly stale) state.
+
+        For every key the node now serves as owner or replica, its copy is
+        replaced with the current list from a surviving holder, so appends
+        acknowledged while it was down are not shadowed by its stale disk.
+        Keys only this node holds are kept as-is — that copy is the data's
+        sole survivor.  (Deletes issued during the outage are not
+        tombstoned: a fully-deleted key can resurrect from the restarted
+        disk, the classic anti-entropy limitation.)"""
+        if node.alive:
+            raise DhtError("node is not down: %r" % (node,))
+        node.alive = True
+        self._by_id[int(node.node_id)] = node
+        self._rebuild_routing()
+        for key in sorted(self._all_keys()):
+            holders = [
+                n
+                for n in self.alive_nodes()
+                if n is not node and (key in n.store or key in n.objects)
+            ]
+            source = max(
+                holders,
+                key=lambda n: (
+                    n.versions.get(key, 0),
+                    n.store.count(key) if key in n.store else 0,
+                    -n.peer_index,
+                ),
+                default=None,
+            )
+            if node not in self.replica_nodes(key):
+                # the ring moved on while the node was down: if the data
+                # lives elsewhere, its local copy is an orphan that a
+                # later failover read or ownership shift would serve
+                # stale — drop it (kept only as a sole survivor)
+                if source is not None:
+                    if key in node.store:
+                        node.store.delete(key)
+                    node.objects.pop(key, None)
+                    node.versions.pop(key, None)
+                continue
+            if source is None:
+                continue
+            version = source.versions.get(key, 0)
+            if key in source.store:
+                postings = source.store.get(key)
+                self._sync_copy(node, key, postings, version=version)
+                self.meter.record("postings", encoded_size(postings))
+            if key in source.objects:
+                obj, nbytes = source.objects[key]
+                node.objects[key] = (obj, nbytes)
+                node.versions[key] = version
+                self.meter.record("control", nbytes)
+        self._observe_fault("restart", node.uri)
+
+    def anti_entropy_repair(self):
+        """One background anti-entropy pass over every visible key.
+
+        Each key's most complete surviving copy is re-replicated to any
+        replica-set member that is missing it or holds a stale shorter
+        list; copies are metered and their transfer time accumulated into
+        the returned :class:`~repro.faults.RepairReport`.  Keys no alive
+        node holds are reported as lost (replication factor exceeded).
+        """
+        report = RepairReport()
+        lost = []
+        for key in sorted(self._all_keys()):
+            report.keys_checked += 1
+            replicas = self.replica_nodes(key)
+            store_holders = [n for n in self.alive_nodes() if key in n.store]
+            object_holders = [n for n in self.alive_nodes() if key in n.objects]
+            if not store_holders and not object_holders:
+                lost.append(key)
+                continue
+            if store_holders:
+                # the freshest *version* wins — size is no proxy, a stale
+                # pre-rewrite (pre-split) copy can be the largest.  Copies
+                # at the same top version can still differ: under a
+                # majority quorum each may have missed a different earlier
+                # append, so the reference is their union.  (Safe because
+                # rewrites — splits, deletes — always bump the version on
+                # every copy they touch; equal-version copies only ever
+                # diverge by missed appends.)
+                version = max(n.versions.get(key, 0) for n in store_holders)
+                tops = sorted(
+                    (
+                        n
+                        for n in store_holders
+                        if n.versions.get(key, 0) == version
+                    ),
+                    key=lambda n: (-n.store.count(key), n.peer_index),
+                )
+                reference = tops[0].store.get(key)
+                for other in tops[1:]:
+                    reference = reference.merge(other.store.get(key))
+                nbytes = encoded_size(reference)
+                for node in replicas:
+                    if (
+                        node.versions.get(key, 0) >= version
+                        and node.store.count(key) >= len(reference)
+                    ):
+                        continue
+                    self._sync_copy(node, key, reference, version=version)
+                    self.meter.record("postings", nbytes)
+                    report.copies_made += 1
+                    report.bytes_copied += nbytes
+                    report.duration_s += self.cost.transfer_time(nbytes, hops=1)
+            if object_holders:
+                source = max(
+                    object_holders,
+                    key=lambda n: (n.versions.get(key, 0), -n.peer_index),
+                )
+                version = source.versions.get(key, 0)
+                obj, nbytes = source.objects[key]
+                for node in replicas:
+                    if node is source:
+                        continue
+                    if key in node.objects and node.versions.get(key, 0) >= version:
+                        continue
+                    node.objects[key] = (obj, nbytes)
+                    node.versions[key] = version
+                    self.meter.record("control", nbytes)
+                    report.copies_made += 1
+                    report.bytes_copied += nbytes
+                    report.duration_s += self.cost.transfer_time(nbytes, hops=1)
+        report.lost_keys = tuple(lost)
+        if self.metrics is not None:
+            self.metrics.counter("dht_repair_copies_total").inc(
+                report.copies_made
+            )
+        return report
+
+    @staticmethod
+    def _sync_copy(target, key, postings, version=None):
+        """Replace ``target``'s copy of ``key`` with ``postings``.
+
+        Delete-then-append rather than ``put``: the naive store's put has
+        read-reconcile-*extend* semantics, which would duplicate postings
+        when reconciling a stale copy.  ``version`` is the stamp of the
+        copy being propagated — the target copy inherits it, not a fresh
+        one (a repair copy is the *same* logical write, moved)."""
+        if key in target.store:
+            target.store.delete(key)
+        target.store.append(key, postings)
+        if version is not None:
+            target.versions[key] = version
 
     def alive_nodes(self):
         return [n for n in self.nodes if n.alive]
@@ -270,30 +487,48 @@ class DhtNetwork:
         ]
         if not replicas:
             return  # data lost: replication factor exceeded
-        source = replicas[0]
+        source = max(
+            replicas,
+            key=lambda n: (
+                n.versions.get(key, 0),
+                n.store.count(key) if key in n.store else 0,
+                -n.peer_index,
+            ),
+        )
         new_owner = self.owner_of(key)
         if new_owner is source:
             return
+        version = source.versions.get(key, 0)
         if key in source.store:
             postings = source.store.get(key)
-            new_owner.store.append(key, postings)
+            self._sync_copy(new_owner, key, postings, version=version)
             self.meter.record("postings", encoded_size(postings))
         if key in source.objects:
             obj, nbytes = source.objects[key]
             new_owner.objects[key] = (obj, nbytes)
+            new_owner.versions[key] = version
             self.meter.record("control", nbytes)
 
     # -- routing ------------------------------------------------------------------
 
-    def route(self, src, key):
+    def route(self, src, key, fault_idx=None):
         """Walk the overlay from ``src`` toward ``key``.
 
         Returns ``(owner_node, hops)``.  Uses only each node's own routing
         state, so tests can verify greedy prefix routing really reaches the
         globally closest node in O(log N) hops.
+
+        ``fault_idx`` is the FaultPlan operation index of the enclosing op,
+        when one is already open; a direct route under an active plan opens
+        its own.  The plan may crash the chosen next hop mid-route — the
+        stale-entry fallback below then recovers exactly as it does for a
+        key-space gap, at the cost of one extra hop.
         """
         if not src.alive:
             raise NoSuchPeerError("routing from a removed node")
+        plan = self.faults
+        if plan is not None and fault_idx is None:
+            fault_idx = plan.begin_op(self, "route", key)
         kid = key_id(key)
         current = src
         hops = 0
@@ -308,6 +543,13 @@ class DhtNetwork:
                 self._last_path = path
                 return current, hops
             nxt = self._by_id.get(int(nxt_id))
+            if (
+                plan is not None
+                and nxt is not None
+                and nxt.alive
+                and int(nxt_id) not in seen
+            ):
+                plan.maybe_crash_hop(self, fault_idx, hops, nxt, protect=src)
             if nxt is None or not nxt.alive or int(nxt_id) in seen:
                 # stale entry: fall back to global owner (one extra hop),
                 # which is what Pastry's repair would converge to
@@ -393,83 +635,288 @@ class DhtNetwork:
                 )
                 t += hop_latency
 
+    def _observe_fault(self, kind, key):
+        """Record one injected fault (or recovery step) with the observers.
+
+        A labelled counter bump plus an instant span on the ``faults``
+        track, so traces show *where* in a query the drops and crashes
+        landed.  Pure observation, like :meth:`_observe_op`."""
+        if self.metrics is not None:
+            self.metrics.counter("dht_faults_total", kind=kind).inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            ctx = tracer.context
+            tracer.add(
+                "fault:%s %s" % (kind, key),
+                "fault",
+                "faults",
+                ctx.now(),
+                0.0,
+                args={"kind": kind, "key": str(key)},
+                parent=ctx.parent_id,
+            )
+
+    def _retry_wait(self, attempt):
+        """Simulated seconds lost to one failed attempt: the sender waits
+        out the op timeout, then backs off before resending."""
+        return self.retry.timeout_s + self.retry.backoff(attempt)
+
+    def _timeout(self, plan, key, op, attempts, receipt):
+        plan.stats.timeouts += 1
+        self._observe_fault("timeout", key)
+        raise OpTimeoutError(key, op, attempts, receipt)
+
+    def _read_holder(self, key, owner, receipt, want="store"):
+        """Find an alive node actually holding ``key``.
+
+        Under an active FaultPlan the routed owner may have inherited a
+        crashed peer's key space before any repair ran; like PAST, the
+        read then probes the replica set (then the rest of the ring) for a
+        live holder.  Each probe is a one-hop control round trip charged
+        to ``receipt``.  Returns None if no alive node holds the key."""
+
+        def has(node):
+            return key in node.store if want == "store" else key in node.objects
+
+        if has(owner):
+            return owner
+        seen = {id(owner)}
+        candidates = []
+        for node in self.replica_nodes(key) + self.alive_nodes():
+            if id(node) not in seen:
+                seen.add(id(node))
+                candidates.append(node)
+        for node in candidates:
+            self.meter.record("control", CONTROL_BYTES)
+            receipt.request_bytes += CONTROL_BYTES
+            receipt.duration_s += self.cost.transfer_time(CONTROL_BYTES, hops=1)
+            if has(node):
+                return node
+        return None
+
     # -- the DHT API -----------------------------------------------------------------
 
-    def locate(self, src, key, _observe=True):
+    def locate(self, src, key, _observe=True, _fault_idx=None):
         """``locate(k)``: the node in charge of ``k`` plus a receipt.
 
         ``_observe=False`` suppresses the tracer's op span — used by the
         compound ops (``get``/``pipelined_get``/``get_object``) that embed
         a locate, so each logical operation traces exactly once."""
-        owner, hops = self.route(src, key)
-        self.meter.record("control", CONTROL_BYTES * max(1, hops))
-        duration = self.cost.transfer_time(CONTROL_BYTES, hops=max(1, hops))
-        receipt = OpReceipt(
-            hops=hops, request_bytes=CONTROL_BYTES, duration_s=duration
+        plan = self.faults
+        idx = _fault_idx
+        if plan is not None and idx is None:
+            idx = plan.begin_op(self, "locate", key)
+        receipt = OpReceipt()
+        attempt = 0
+        while True:
+            owner, hops = self.route(src, key, fault_idx=idx)
+            fate = (
+                plan.request_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("control", CONTROL_BYTES * max(1, hops))
+            receipt.hops += hops
+            receipt.request_bytes += CONTROL_BYTES
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, "locate", attempt, receipt)
+                continue
+            break
+        receipt.duration_s += self.cost.transfer_time(
+            CONTROL_BYTES, hops=max(1, hops)
         )
+        if plan is not None:
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                self._observe_fault("duplicate", key)
+                self.meter.record("control", CONTROL_BYTES * max(1, hops))
+                receipt.merge(
+                    OpReceipt(request_bytes=CONTROL_BYTES), count_bytes=False
+                )
         if _observe:
             self._observe_op("locate", src, key, receipt)
         return owner, receipt
 
     def append(self, src, key, postings, replicate=True):
         """The Section 3 extension: linear-cost posting insertion."""
-        postings = _as_plist(postings)
-        owner, hops = self.route(src, key)
-        payload = encoded_size(postings)
-        wire = payload * max(1, hops)  # multi-hop routed request
-        self.meter.record("postings", wire)
-        receipt = OpReceipt(hops=hops, request_bytes=wire)
-        receipt.duration_s += self.cost.transfer_time(payload, hops=max(1, hops))
-        before = owner.store.stats.snapshot()
-        owner.store.append(key, postings)
-        receipt.duration_s += owner.store.stats.delta_since(before).cost_seconds(
-            self.cost
-        )
-        if replicate:
-            receipt.merge(self._replicate(owner, key, postings))
-        self._observe_op("append", src, key, receipt, payload=payload)
-        return receipt
+        return self._write("append", src, key, _as_plist(postings), replicate)
 
     def put(self, src, key, postings, replicate=True):
         """The *original* DHT insert: read old value, reconcile, rewrite.
 
         Kept verbatim so the store ablation can measure the quadratic
         behaviour the paper had to engineer away."""
-        postings = _as_plist(postings)
-        owner, hops = self.route(src, key)
+        return self._write("put", src, key, _as_plist(postings), replicate)
+
+    def _write(self, op, src, key, postings, replicate):
+        """Shared body of ``append`` and ``put`` (they differ only in the
+        store primitive applied at the owner).
+
+        Under an active FaultPlan the routed request can be dropped (the
+        writer times out, backs off, and resends — every lost copy is
+        metered, every wait charged in simulated time) or the owner can
+        crash before applying it (the retry re-routes to the successor).
+        Retries exhausted raise :class:`~repro.faults.OpTimeoutError`.
+        """
+        plan = self.faults
+        idx = plan.begin_op(self, op, key) if plan is not None else None
         payload = encoded_size(postings)
-        wire = payload * max(1, hops)
-        self.meter.record("postings", wire)
-        receipt = OpReceipt(hops=hops, request_bytes=wire)
+        receipt = OpReceipt()
+        attempt = 0
+        while True:
+            owner, hops = self.route(src, key, fault_idx=idx)
+            wire = payload * max(1, hops)  # multi-hop routed request
+            fate = (
+                plan.request_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("postings", wire)
+            receipt.hops += hops
+            receipt.request_bytes += wire
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, op, attempt, receipt)
+                continue
+            if plan is not None and plan.maybe_crash_owner(
+                self, idx, attempt, owner, protect=src
+            ):
+                # the request reached a dying owner: the write was not
+                # applied, so it is a lost attempt like a dropped message
+                plan.stats.retries += 1
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, op, attempt, receipt)
+                continue
+            break
         receipt.duration_s += self.cost.transfer_time(payload, hops=max(1, hops))
+        if plan is not None:
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                # a second copy of the request arrives: real wire traffic,
+                # but delivery is idempotent (the owner absorbs it), so it
+                # must not double into this op's receipt
+                self._observe_fault("duplicate", key)
+                self.meter.record("postings", wire)
+                receipt.merge(OpReceipt(request_bytes=wire), count_bytes=False)
+        stamp = self.next_stamp()
         before = owner.store.stats.snapshot()
-        owner.store.put(key, postings)
+        getattr(owner.store, op)(key, postings)
+        owner.versions[key] = stamp
         receipt.duration_s += owner.store.stats.delta_since(before).cost_seconds(
             self.cost
         )
         if replicate:
-            receipt.merge(self._replicate(owner, key, postings))
-        self._observe_op("put", src, key, receipt, payload=payload)
+            receipt.merge(
+                self._replicate(owner, key, postings, fault_idx=idx, stamp=stamp)
+            )
+        self._observe_op(op, src, key, receipt, payload=payload)
         return receipt
 
-    def _replicate(self, owner, key, postings):
+    def _quorum_needed(self, num_replicas):
+        if self.write_quorum == "all":
+            return num_replicas
+        return num_replicas // 2 + 1
+
+    def _replicate(self, owner, key, postings, fault_idx=None, stamp=None):
+        """Push ``postings`` to the backup replicas.
+
+        Without a FaultPlan this is fire-and-forget to every backup, as
+        before.  Under a plan each backup is retried until it acknowledges
+        or retries run out; the write succeeds once
+        :attr:`write_quorum` acks are in (the owner's local apply counts
+        as the first), leaving any unacked backup under-replicated for
+        :meth:`anti_entropy_repair` to catch up.  Fewer acks than the
+        quorum raise :class:`~repro.faults.OpTimeoutError`."""
         receipt = OpReceipt()
         payload = encoded_size(postings)
-        for node in self.replica_nodes(key):
+        plan = self.faults
+        replicas = self.replica_nodes(key)
+        acked = 1  # the owner's own, already-applied copy
+        for r_i, node in enumerate(replicas):
             if node is owner:
                 continue
-            node.store.append(key, postings)
-            self.meter.record("postings", payload)
-            receipt.request_bytes += payload
-            receipt.duration_s += self.cost.transfer_time(payload, hops=1)
+            if plan is None:
+                node.store.append(key, postings)
+                if stamp is not None:
+                    node.versions[key] = stamp
+                self.meter.record("postings", payload)
+                receipt.request_bytes += payload
+                receipt.duration_s += self.cost.transfer_time(payload, hops=1)
+                acked += 1
+                continue
+            delivered = False
+            for attempt in range(self.retry.max_retries + 1):
+                fate = plan.replica_fate(fault_idx, attempt, r_i)
+                self.meter.record("postings", payload)
+                receipt.request_bytes += payload
+                if fate == "drop":
+                    self._observe_fault("drop", key)
+                    receipt.duration_s += self._retry_wait(attempt)
+                    continue
+                node.store.append(key, postings)
+                if stamp is not None:
+                    node.versions[key] = stamp
+                receipt.duration_s += self.cost.transfer_time(payload, hops=1)
+                if fate == "delay":
+                    self._observe_fault("delay", key)
+                    receipt.duration_s += plan.delay_s
+                elif fate == "duplicate":
+                    self._observe_fault("duplicate", key)
+                    self.meter.record("postings", payload)
+                    receipt.merge(
+                        OpReceipt(request_bytes=payload), count_bytes=False
+                    )
+                delivered = True
+                break
+            if delivered:
+                acked += 1
+        if plan is not None and acked < self._quorum_needed(len(replicas)):
+            self._timeout(
+                plan, key, "replicate", self.retry.max_retries + 1, receipt
+            )
         return receipt
 
     def get(self, src, key):
         """Blocking ``get``: the full posting list, in one response."""
-        owner, locate_receipt = self.locate(src, key, _observe=False)
-        plist = owner.store.get(key)
-        payload = encoded_size(plist)
-        self.meter.record("postings", payload)
+        plan = self.faults
+        idx = plan.begin_op(self, "get", key) if plan is not None else None
+        owner, locate_receipt = self.locate(
+            src, key, _observe=False, _fault_idx=idx
+        )
+        holder = owner
+        if plan is not None and key not in owner.store:
+            holder = self._read_holder(key, owner, locate_receipt) or owner
+        extra = OpReceipt()
+        attempt = 0
+        while True:
+            plist = holder.store.get(key)
+            payload = encoded_size(plist)
+            fate = (
+                plan.response_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("postings", payload)
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                extra.response_bytes += payload
+                extra.duration_s += self.cost.disk_read_time(
+                    payload
+                ) + self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(
+                        plan, key, "get", attempt, locate_receipt.merge(extra)
+                    )
+                continue
+            break
         receipt = OpReceipt(
             hops=locate_receipt.hops,
             request_bytes=locate_receipt.request_bytes,
@@ -478,6 +925,17 @@ class DhtNetwork:
             + self.cost.disk_read_time(payload)
             + self.cost.transfer_time(payload, hops=1),
         )
+        if plan is not None:
+            receipt.merge(extra)
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                self._observe_fault("duplicate", key)
+                self.meter.record("postings", payload)
+                receipt.merge(
+                    OpReceipt(response_bytes=payload), count_bytes=False
+                )
         self._observe_op("get", src, key, receipt, payload=payload)
         return plist, receipt
 
@@ -491,13 +949,43 @@ class DhtNetwork:
         block-fetch accounting consistent with ``get``'s and gives block
         transfers their own op span in traces.
         """
+        plan = self.faults
+        idx = plan.begin_op(self, "block_get", key) if plan is not None else None
         payload = encoded_size(postings)
-        self.meter.record("postings", payload)
+        extra = OpReceipt()
+        attempt = 0
+        while True:
+            fate = (
+                plan.response_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("postings", payload)
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                extra.response_bytes += payload
+                extra.duration_s += self.cost.disk_read_time(
+                    payload
+                ) + self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, "block_get", attempt, extra)
+                continue
+            break
         receipt = OpReceipt(
             response_bytes=payload,
             duration_s=self.cost.disk_read_time(payload)
             + self.cost.transfer_time(payload, hops=1),
         )
+        if plan is not None:
+            receipt.merge(extra)
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                self._observe_fault("duplicate", key)
+                self.meter.record("postings", payload)
+                receipt.merge(
+                    OpReceipt(response_bytes=payload), count_bytes=False
+                )
         self._observe_op("block_get", src, key, receipt, payload=payload)
         return receipt
 
@@ -510,13 +998,73 @@ class DhtNetwork:
         executor schedules the remaining chunks against link resources to
         model the pipeline.
         """
-        owner, locate_receipt = self.locate(src, key, _observe=False)
-        plist = owner.store.get(key)
-        chunks = list(plist.chunks(chunk_postings)) if len(plist) else []
-        total = 0
-        for chunk in chunks:
-            total += encoded_size(chunk)
-        self.meter.record("postings", total)
+        plan = self.faults
+        idx = (
+            plan.begin_op(self, "pipelined_get", key)
+            if plan is not None
+            else None
+        )
+        owner, locate_receipt = self.locate(
+            src, key, _observe=False, _fault_idx=idx
+        )
+        extra = OpReceipt()
+        attempt = 0
+        while True:
+            holder = owner
+            if plan is not None and (
+                not holder.alive or key not in holder.store
+            ):
+                holder = self._read_holder(key, owner, locate_receipt) or owner
+            plist = holder.store.get(key)
+            chunks = list(plist.chunks(chunk_postings)) if len(plist) else []
+            if plan is not None:
+                crash_at = plan.crash_chunk_index(
+                    self, idx, attempt, len(chunks), holder, protect=src
+                )
+                if crash_at is not None:
+                    # the stream's holder died mid-transfer: the chunks
+                    # already received are wasted wire traffic; the client
+                    # times out waiting for the next one and retries, which
+                    # re-resolves to a surviving replica of the key
+                    partial = 0
+                    for chunk in chunks[: crash_at + 1]:
+                        partial += encoded_size(chunk)
+                    self.meter.record("postings", partial)
+                    extra.response_bytes += partial
+                    extra.duration_s += self._retry_wait(attempt)
+                    plan.stats.retries += 1
+                    attempt += 1
+                    if attempt > self.retry.max_retries:
+                        self._timeout(
+                            plan,
+                            key,
+                            "pipelined_get",
+                            attempt,
+                            locate_receipt.merge(extra),
+                        )
+                    continue
+            total = 0
+            for chunk in chunks:
+                total += encoded_size(chunk)
+            fate = (
+                plan.response_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("postings", total)
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                extra.response_bytes += total
+                extra.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(
+                        plan,
+                        key,
+                        "pipelined_get",
+                        attempt,
+                        locate_receipt.merge(extra),
+                    )
+                continue
+            break
         first = encoded_size(chunks[0]) if chunks else 0
         receipt = OpReceipt(
             hops=locate_receipt.hops,
@@ -526,30 +1074,76 @@ class DhtNetwork:
             + self.cost.disk_read_time(first)
             + self.cost.transfer_time(first, hops=1),
         )
+        if plan is not None:
+            receipt.merge(extra)
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                self._observe_fault("duplicate", key)
+                self.meter.record("postings", total)
+                receipt.merge(OpReceipt(response_bytes=total), count_bytes=False)
         self._observe_op("pipelined_get", src, key, receipt, payload=total)
         return chunks, receipt
 
     def delete(self, src, key, posting=None):
         owner, receipt = self.locate(src, key)
+        stamp = self.next_stamp()
         removed = owner.store.delete(key, posting)
+        owner.versions[key] = stamp
         for node in self.replica_nodes(key):
             if node is not owner:
                 node.store.delete(key, posting)
+                node.versions[key] = stamp
         return removed, receipt
 
     # -- small-object storage (DPP roots, catalog rows) --------------------------
 
     def put_object(self, src, key, obj, nbytes):
         """Store a small control object (replicated like postings)."""
-        owner, hops = self.route(src, key)
-        self.meter.record("control", nbytes * max(1, hops))
-        receipt = OpReceipt(
-            hops=hops,
-            request_bytes=nbytes * max(1, hops),
-            duration_s=self.cost.transfer_time(nbytes, hops=max(1, hops)),
-        )
+        plan = self.faults
+        idx = plan.begin_op(self, "put_object", key) if plan is not None else None
+        receipt = OpReceipt()
+        attempt = 0
+        while True:
+            owner, hops = self.route(src, key, fault_idx=idx)
+            wire = nbytes * max(1, hops)
+            fate = (
+                plan.request_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("control", wire)
+            receipt.hops += hops
+            receipt.request_bytes += wire
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, "put_object", attempt, receipt)
+                continue
+            if plan is not None and plan.maybe_crash_owner(
+                self, idx, attempt, owner, protect=src
+            ):
+                plan.stats.retries += 1
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, "put_object", attempt, receipt)
+                continue
+            break
+        receipt.duration_s += self.cost.transfer_time(nbytes, hops=max(1, hops))
+        if plan is not None:
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                self._observe_fault("duplicate", key)
+                self.meter.record("control", wire)
+                receipt.merge(OpReceipt(request_bytes=wire), count_bytes=False)
+        stamp = self.next_stamp()
         for node in self.replica_nodes(key):
             node.objects[key] = (obj, nbytes)
+            node.versions[key] = stamp
             if node is not owner:
                 self.meter.record("control", nbytes)
                 receipt.duration_s += self.cost.transfer_time(nbytes, hops=1)
@@ -557,8 +1151,18 @@ class DhtNetwork:
         return receipt
 
     def get_object(self, src, key):
-        owner, locate_receipt = self.locate(src, key, _observe=False)
-        entry = owner.objects.get(key)
+        plan = self.faults
+        idx = plan.begin_op(self, "get_object", key) if plan is not None else None
+        owner, locate_receipt = self.locate(
+            src, key, _observe=False, _fault_idx=idx
+        )
+        holder = owner
+        if plan is not None and key not in owner.objects:
+            holder = (
+                self._read_holder(key, owner, locate_receipt, want="objects")
+                or owner
+            )
+        entry = holder.objects.get(key)
         if entry is None:
             self._observe_op("get_object", src, key, locate_receipt)
             return None, locate_receipt

@@ -20,9 +20,11 @@ measured values for each experiment.
 | ``pipeline_ablation``        | Section 3 pipelined get         |
 | ``dpp_order_ablation``       | Section 4.1 ordered vs random   |
 | ``optimizer_eval``           | §5.4/§8 strategy optimizer      |
+| ``fault_tolerance``          | §4.2 replication under crashes  |
 """
 
 __all__ = [
+    "fault_tolerance",
     "fig2_indexing",
     "fig3_query",
     "fig7_reducers",

@@ -256,17 +256,36 @@ class DppIndex:
             return entry[0]
         if not create:
             return None
+        # churn can hand the term to a node whose root copy was dropped
+        # while it was down; creating a fresh empty root here would orphan
+        # every existing block, so adopt the freshest alive copy instead
+        fellows = [
+            n
+            for n in self.net.nodes
+            if n.alive and n is not owner and key in n.objects
+        ]
+        if fellows:
+            source = max(
+                fellows,
+                key=lambda n: (n.versions.get(key, 0), -n.peer_index),
+            )
+            owner.objects[key] = source.objects[key]
+            owner.versions[key] = source.versions.get(key, 0)
+            return owner.objects[key][0]
         root = DppRoot(term_key)
         # a fresh root has one empty local block; its condition is set to
         # the actual data bounds by the first append
         root.entries.append(BlockRef(None, None, root.new_seq()))
         owner.objects[key] = (root, root.encoded_bytes())
+        owner.versions[key] = self.net.next_stamp()
         return root
 
     def _store_root(self, owner, root):
         key = self.ROOT_KEY_PREFIX + root.term_key
         entry = (root, root.encoded_bytes())
+        stamp = self.net.next_stamp()
         owner.objects[key] = entry
+        owner.versions[key] = stamp
         # reliability replication: the (shared, in-process) root object is
         # also held by the term's DHT replicas so a term-owner failure
         # re-homes it (Section 4.2's reliance on DHT index replication)
@@ -274,6 +293,7 @@ class DppIndex:
             for backup in self.net.replica_nodes(root.term_key):
                 if backup is not owner:
                     backup.objects[key] = entry
+                    backup.versions[key] = stamp
 
     def root(self, src, term_key):
         """Fetch a term's root block over the network (query-time path)."""
@@ -338,16 +358,68 @@ class DppIndex:
         holder = self.net.owner_of(entry.pseudo_key)
         return holder, entry.pseudo_key
 
+    def _freshen_block(self, holder, store_key, receipt):
+        """Read-repair a block copy before mutating it in place.
+
+        Churn can hand block ownership to a node whose copy is stale or
+        missing entirely (e.g. it was dropped as an orphan while the node
+        was down and the ring later moved back).  Mutating such a copy
+        would stamp an *incomplete* rewrite with a fresh version,
+        laundering the hole past anti-entropy repair: the complete but
+        older copies then lose by version and the postings are gone for
+        good.  So before any in-place append, split, or delete, adopt the
+        union of the freshest alive copies.  In a fault-free network every
+        copy is identical, so this never transfers (or meters) anything.
+        """
+        fellows = [
+            n
+            for n in self.net.nodes
+            if n.alive and n is not holder and store_key in n.store
+        ]
+        if not fellows:
+            return
+        version = max(n.versions.get(store_key, 0) for n in fellows)
+        mine = (
+            holder.versions.get(store_key, 0)
+            if store_key in holder.store
+            else -1
+        )
+        if mine > version:
+            return
+        tops = sorted(
+            (n for n in fellows if n.versions.get(store_key, 0) == version),
+            key=lambda n: (-n.store.count(store_key), n.peer_index),
+        )
+        reference = tops[0].store.get(store_key)
+        for other in tops[1:]:
+            reference = reference.merge(other.store.get(store_key))
+        if mine == version:
+            # equal versions may hold different quorum holes: union them
+            current = holder.store.get(store_key)
+            reference = reference.merge(current)
+            if len(reference) == len(current):
+                return
+        if store_key in holder.store:
+            holder.store.delete(store_key)
+        holder.store.append(store_key, reference)
+        holder.versions[store_key] = version
+        payload = encoded_size(reference)
+        self.net.meter.record("postings", payload)
+        receipt.duration_s += self.net.cost.transfer_time(payload, hops=1)
+
     def _append_to_block(self, owner, root, entry, group):
         receipt = OpReceipt()
         holder, store_key = self._block_location(owner, entry, root.term_key)
+        self._freshen_block(holder, store_key, receipt)
         if holder is not owner:
             payload = encoded_size(group)
             self.net.meter.record("postings", payload)
             receipt.request_bytes += payload
             receipt.duration_s += self.net.cost.transfer_time(payload, hops=1)
+        stamp = self.net.next_stamp()
         before = holder.store.stats.snapshot()
         holder.store.append(store_key, group)
+        holder.versions[store_key] = stamp
         receipt.duration_s += holder.store.stats.delta_since(before).cost_seconds(
             self.net.cost
         )
@@ -360,6 +432,7 @@ class DppIndex:
                 if backup is holder:
                     continue
                 backup.store.append(store_key, group)
+                backup.versions[store_key] = stamp
                 self.net.meter.record("postings", payload)
                 receipt.duration_s += self.net.cost.transfer_time(payload, hops=1)
         # refresh the condition to cover the new postings
@@ -387,6 +460,7 @@ class DppIndex:
         """Split an overfull block; the upper half moves to a new peer."""
         receipt = OpReceipt()
         holder, store_key = self._block_location(owner, entry, root.term_key)
+        self._freshen_block(holder, store_key, receipt)
         block = holder.store.get(store_key)
         if self.ordered_splits:
             mid = len(block) // 2
@@ -397,12 +471,31 @@ class DppIndex:
             upper = PostingList(items[1::2], presorted=True)
 
         # rewrite the lower half in place
+        stamp = self.net.next_stamp()
         holder.store.delete(store_key)
         before = holder.store.stats.snapshot()
         holder.store.append(store_key, lower)
+        holder.versions[store_key] = stamp
         receipt.duration_s += holder.store.stats.delta_since(before).cost_seconds(
             self.net.cost
         )
+        # ... and on every reliability replica: a split is a *rewrite*, so
+        # merely appending would leave replicas with the pre-split block —
+        # a copy that is larger (hence "more complete" to anti-entropy
+        # repair) yet stale, poisoning any later repair or failover read
+        if self.net.replication > 1:
+            lower_payload = encoded_size(lower)
+            for backup in self.net.replica_nodes(store_key):
+                if backup is holder:
+                    continue
+                if store_key in backup.store:
+                    backup.store.delete(store_key)
+                backup.store.append(store_key, lower)
+                backup.versions[store_key] = stamp
+                self.net.meter.record("postings", lower_payload)
+                receipt.duration_s += self.net.cost.transfer_time(
+                    lower_payload, hops=1
+                )
 
         # ship the upper half to the peer in charge of a fresh pseudo-key
         new_seq = root.new_seq()
@@ -412,11 +505,25 @@ class DppIndex:
         self.net.meter.record("postings", payload * max(1, hops))
         receipt.request_bytes += payload * max(1, hops)
         receipt.duration_s += self.net.cost.transfer_time(payload, hops=max(1, hops))
+        upper_stamp = self.net.next_stamp()
         before = new_holder.store.stats.snapshot()
         new_holder.store.append(new_key, upper)
+        new_holder.versions[new_key] = upper_stamp
         receipt.duration_s += new_holder.store.stats.delta_since(
             before
         ).cost_seconds(self.net.cost)
+        # the split-off half gets the DHT's reliability replication like
+        # any other key (cf. _append_to_block): without this, crashing the
+        # new holder right after a split would lose the upper half even at
+        # replication > 1
+        if self.net.replication > 1:
+            for backup in self.net.replica_nodes(new_key):
+                if backup is new_holder:
+                    continue
+                backup.store.append(new_key, upper)
+                backup.versions[new_key] = upper_stamp
+                self.net.meter.record("postings", payload)
+                receipt.duration_s += self.net.cost.transfer_time(payload, hops=1)
 
         # the root replaces C with C1, C2
         idx = root.entries.index(entry)
@@ -449,9 +556,13 @@ class DppIndex:
         for posting in sorted(postings):
             entry = root.target_entry(posting)
             holder, store_key = self._block_location(owner, entry, term_key)
+            self._freshen_block(holder, store_key, receipt)
             before = holder.store.stats.snapshot()
             if holder.store.delete(store_key, posting):
                 removed += 1
+                # stamp the rewrite so anti-entropy pushes the deletion to
+                # the block's replicas instead of resurrecting from them
+                holder.versions[store_key] = self.net.next_stamp()
             receipt.duration_s += holder.store.stats.delta_since(
                 before
             ).cost_seconds(self.net.cost)
@@ -476,6 +587,7 @@ class DppIndex:
             rep_key = self.replica_block_key(entry, term_key, copy)
             rep_holder = self.net.owner_of(rep_key)
             rep_holder.store.append(rep_key, postings)
+            rep_holder.versions[rep_key] = self.net.next_stamp()
             self.net.meter.record("postings", encoded_size(postings))
             entry.replica_keys.append(rep_key)
 

@@ -88,6 +88,21 @@ class KadopConfig:
                          ``"chord"`` — the techniques only assume the
                          generic DHT interface of Section 2
     ``cost``             the calibrated :class:`CostParams`
+
+    Fault tolerance (:mod:`repro.faults` — only observable when a
+    FaultPlan is installed; all-zero-fault runs are byte-identical to the
+    pre-fault code path):
+
+    ``op_timeout_s``        simulated seconds a sender waits before
+                            declaring a message lost
+    ``op_max_retries``      resends per op/replica before
+                            :class:`~repro.faults.OpTimeoutError`
+    ``retry_backoff_s``     base of the capped exponential backoff
+    ``retry_backoff_cap_s`` backoff ceiling
+    ``write_quorum``        ``"all"`` (every replica must ack, the
+                            original semantics) or ``"majority"``
+                            (ack-on-quorum; stragglers are caught up by
+                            anti-entropy repair)
     """
 
     store: str = "btree"
@@ -122,6 +137,12 @@ class KadopConfig:
     overlay: str = "pastry"
     cost: CostParams = field(default_factory=CostParams)
 
+    op_timeout_s: float = 0.25
+    op_max_retries: int = 6
+    retry_backoff_s: float = 0.05
+    retry_backoff_cap_s: float = 1.0
+    write_quorum: str = "all"
+
     def __post_init__(self):
         if self.overlay not in ("pastry", "chord"):
             raise ConfigError("overlay must be 'pastry' or 'chord'")
@@ -153,6 +174,19 @@ class KadopConfig:
             raise ConfigError("chunk_postings must be >= 1")
         if not 0 < self.ab_fp_rate < 1 or not 0 < self.db_fp_rate < 1:
             raise ConfigError("filter fp rates must be in (0, 1)")
+        if self.write_quorum not in ("all", "majority"):
+            raise ConfigError(
+                "write_quorum must be 'all' or 'majority', got %r"
+                % (self.write_quorum,)
+            )
+        if self.op_max_retries < 0:
+            raise ConfigError("op_max_retries must be >= 0")
+        if (
+            self.op_timeout_s < 0
+            or self.retry_backoff_s < 0
+            or self.retry_backoff_cap_s < 0
+        ):
+            raise ConfigError("timeout/backoff durations must be >= 0")
         if self.store == "naive" and self.use_append:
             # the naive store has no real append; calling it is allowed but
             # degenerates to put — make the intent explicit in experiments

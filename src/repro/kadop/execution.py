@@ -17,6 +17,8 @@ degree-K parallel block fetches (Section 4.2) earn their speedups.
 
 from dataclasses import dataclass, field
 
+from repro.dht.network import OpReceipt
+from repro.faults import OpTimeoutError
 from repro.obs.trace import observe_schedule
 from repro.postings.encoder import encoded_size
 from repro.postings.plist import PostingList
@@ -72,6 +74,9 @@ class QueryReport:
     chosen_strategy: str = None  # set when the optimizer ("auto") ran
     complete: bool = True  # False if a document peer timed out (Section 3)
     timed_out_peers: int = 0
+    # keys whose fetch exhausted its retries under an active FaultPlan;
+    # the query degrades to a partial answer instead of raising
+    unreachable_keys: tuple = ()
     block_vectors: int = 0  # meaningful block vectors joined (Section 4.2)
     view_hit: bool = False  # index phase answered from a materialized view
     view_id: str = None  # id of the serving view
@@ -106,6 +111,10 @@ class QueryExecutor:
         meter = system.net.meter
         snapshot = meter.snapshot()
         report = QueryReport()
+        # keys that timed out under an active FaultPlan this run; a nested
+        # run (view materialization) resets and drains it for its own
+        # report before control returns here
+        self._unreachable = set()
 
         # tracing (repro.obs): purely observational span recording.  A
         # nested run (view materialization) keeps the outer query context —
@@ -121,11 +130,16 @@ class QueryExecutor:
         plan = build_index_plan(pattern)
         report.precise = plan.precise
 
-        view_outcome = (
-            system.views.pre_query(pattern, plan, src_peer)
-            if system.views is not None
-            else None
-        )
+        try:
+            view_outcome = (
+                system.views.pre_query(pattern, plan, src_peer)
+                if system.views is not None
+                else None
+            )
+        except OpTimeoutError as exc:
+            # view machinery unreachable: fall back to the base index path
+            self._unreachable.add(exc.key)
+            view_outcome = None
         if view_outcome is not None and view_outcome.served:
             # the view hands us the candidate documents directly; the
             # document phase below runs unchanged, so answers are identical
@@ -265,9 +279,19 @@ class QueryExecutor:
                     parent=index_span,
                 )
                 ctx.parent_id = fetch_span
-            streams, fetch_time, ttfa = self._fetch_streams(
-                component, src_peer, component_strategy
-            )
+            try:
+                streams, fetch_time, ttfa = self._fetch_streams(
+                    component, src_peer, component_strategy
+                )
+            except OpTimeoutError as exc:
+                # this component's fetch died beyond its inner recovery
+                # (e.g. a reducer exchange): skip it — the document phase
+                # verifies the full pattern on whatever candidates remain,
+                # so answers stay exact, just possibly incomplete
+                self._unreachable.add(exc.key)
+                if ctx is not None:
+                    ctx.parent_id = index_span
+                continue
             report.postings_fetched += sum(len(s) for s in streams.values())
             join_inputs = sum(len(s) for s in streams.values())
             join_cpu = system.net.cost.join_time(join_inputs)
@@ -389,7 +413,16 @@ class QueryExecutor:
         return answers, report
 
     def _finish_observation(self, ctx, doc_span, report, answers):
-        """Close the query's trace context and bump per-query counters."""
+        """Close the query's trace context and bump per-query counters.
+
+        Also the single merge point (both exits of :meth:`run` pass here)
+        for graceful degradation: keys whose fetch timed out under a
+        FaultPlan land in the report instead of raising."""
+        unreachable = getattr(self, "_unreachable", None)
+        if unreachable:
+            report.unreachable_keys = tuple(sorted(unreachable))
+            report.complete = False
+        self._unreachable = set()
         system = self.system
         if system.metrics is not None:
             system.metrics.counter("queries_total").inc()
@@ -444,6 +477,15 @@ class QueryExecutor:
         cost = self.system.net.cost.params
         return max(1, int(cost.ingress_bw / cost.egress_bw))
 
+    def _scheduler(self):
+        """A transfer scheduler wired to the network's FaultPlan (if any),
+        so bulk transfers see the plan's deterministic link jitter."""
+        scheduler = Scheduler()
+        plan = self.system.net.faults
+        if plan is not None:
+            scheduler.install_faults(plan)
+        return scheduler
+
     def _fetch_plain(self, component, src_peer):
         """One stream per term, each from the term owner (Section 3)."""
         system = self.system
@@ -455,21 +497,33 @@ class QueryExecutor:
         for node in component.nodes():
             key = term_key_of(node)
             if key not in term_lists:
-                if config.pipelined_get:
-                    chunks, receipt = net.pipelined_get(
-                        src_peer.node, key, config.chunk_postings
+                try:
+                    if config.pipelined_get:
+                        chunks, receipt = net.pipelined_get(
+                            src_peer.node, key, config.chunk_postings
+                        )
+                        merged = PostingList()
+                        for chunk in chunks:
+                            merged = merged.merge(chunk)
+                        term_lists[key] = (merged, receipt)
+                    else:
+                        plist, receipt = net.get(src_peer.node, key)
+                        term_lists[key] = (plist, receipt)
+                except OpTimeoutError as exc:
+                    # unreachable term: degrade to an empty stream (the
+                    # join then under-approximates; the report's
+                    # unreachable_keys names what was lost)
+                    self._unreachable.add(exc.key)
+                    term_lists[key] = (
+                        PostingList(),
+                        exc.receipt if exc.receipt is not None else OpReceipt(),
                     )
-                    merged = PostingList()
-                    for chunk in chunks:
-                        merged = merged.merge(chunk)
-                    term_lists[key] = (merged, receipt)
-                else:
-                    plist, receipt = net.get(src_peer.node, key)
-                    term_lists[key] = (plist, receipt)
+                    streams[node.node_id] = term_lists[key][0]
+                    continue
                 locate_time = max(locate_time, receipt.duration_s)
             streams[node.node_id] = term_lists[key][0]
 
-        scheduler = Scheduler()
+        scheduler = self._scheduler()
         ingress = scheduler.add_resource("ingress", self._ingress_slots())
         ttfa = 0.0
         for key, (plist, receipt) in term_lists.items():
@@ -561,7 +615,15 @@ class QueryExecutor:
             key = term_key_of(node)
             if key in roots:
                 continue
-            root, receipt = dpp.root(src_peer.node, key)
+            try:
+                root, receipt = dpp.root(src_peer.node, key)
+            except OpTimeoutError as exc:
+                # unreachable root: treated like a term with no postings
+                # (the missing-entries early return below), flagged in the
+                # report's unreachable_keys
+                self._unreachable.add(exc.key)
+                roots[key] = None
+                continue
             roots[key] = root
             root_time = max(root_time, receipt.duration_s)
 
@@ -601,7 +663,7 @@ class QueryExecutor:
             )
 
         use_window = config.dpp_fetch_mode != "eager"
-        scheduler = Scheduler()
+        scheduler = self._scheduler()
         ingress = scheduler.add_resource("ingress", config.parallelism)
         fetched, skipped = 0, 0
         term_lists = {}
@@ -625,11 +687,18 @@ class QueryExecutor:
                     ):
                         skipped += 1
                         continue
-                postings, holder, receipt = dpp.fetch_block(
-                    src_peer.node, key, entry,
-                    doc_lo if use_window else None,
-                    doc_hi if use_window else None,
-                )
+                try:
+                    postings, holder, receipt = dpp.fetch_block(
+                        src_peer.node, key, entry,
+                        doc_lo if use_window else None,
+                        doc_hi if use_window else None,
+                    )
+                except OpTimeoutError as exc:
+                    # an unreachable block counts as skipped so the
+                    # blocks_fetched + blocks_skipped conservation holds
+                    self._unreachable.add(exc.key)
+                    skipped += 1
+                    continue
                 fetched += 1
                 parts.append(postings)
                 if len(postings):
@@ -766,16 +835,24 @@ class QueryExecutor:
         }
         self._zone_level_prune(keep, nodes)
 
-        scheduler = Scheduler()
+        scheduler = self._scheduler()
         ingress = scheduler.add_resource("ingress", config.parallelism)
         term_parts = {key: [] for key in roots}
         state = {"fetched": 0, "first": None}
 
         def make_loader(key, entry):
             def load():
-                postings, holder, receipt = dpp.fetch_block(
-                    src_peer.node, key, entry, doc_lo, doc_hi
-                )
+                try:
+                    postings, holder, receipt = dpp.fetch_block(
+                        src_peer.node, key, entry, doc_lo, doc_hi
+                    )
+                except OpTimeoutError as exc:
+                    # the demanded block never arrived: the join continues
+                    # with an empty cursor and, because ``fetched`` is not
+                    # bumped, the block lands on the skipped side of the
+                    # conservation count
+                    self._unreachable.add(exc.key)
+                    return PostingList()
                 state["fetched"] += 1
                 if state["first"] is None:
                     state["first"] = receipt.duration_s
@@ -851,7 +928,15 @@ class QueryExecutor:
         for node in nodes:
             key = term_key_of(node)
             if key not in term_lists:
-                owner, receipt = net.locate(src_peer.node, key)
+                try:
+                    owner, receipt = net.locate(src_peer.node, key)
+                except OpTimeoutError as exc:
+                    # unreachable term: joins against an empty list at the
+                    # host; named in the report's unreachable_keys
+                    self._unreachable.add(exc.key)
+                    owners[key] = src_peer.node
+                    term_lists[key] = PostingList()
+                    continue
                 owners[key] = owner
                 term_lists[key] = owner.store.get(key)
                 locate_time = max(locate_time, receipt.duration_s)
@@ -860,7 +945,7 @@ class QueryExecutor:
         host = owners[host_key]
 
         # the other lists travel to the host (parallel, host-ingress bound)
-        scheduler = Scheduler()
+        scheduler = self._scheduler()
         ingress = scheduler.add_resource("ingress", self._ingress_slots())
         for key, plist in term_lists.items():
             if key == host_key:

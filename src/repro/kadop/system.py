@@ -12,6 +12,7 @@ Wires the substrates together according to a
 
 from repro.bloom.reducers import BloomReducers
 from repro.dht.network import DhtNetwork
+from repro.faults import RetryPolicy
 from repro.fundex.index import FundexIndex
 from repro.index.catalog import Catalog
 from repro.index.dpp import DppIndex
@@ -39,6 +40,13 @@ class KadopNetwork:
             leaf_size=self.config.leaf_size,
             overlay=self.config.overlay,
         )
+        self.net.retry = RetryPolicy(
+            timeout_s=self.config.op_timeout_s,
+            max_retries=self.config.op_max_retries,
+            backoff_s=self.config.retry_backoff_s,
+            backoff_cap_s=self.config.retry_backoff_cap_s,
+        )
+        self.net.write_quorum = self.config.write_quorum
         self._store_factory = store_factory
         self.catalog = Catalog(self.net)
         self.dpp = (
@@ -136,6 +144,36 @@ class KadopNetwork:
         self.net.tracer = None
         self.net.metrics = None
         self.net.meter.bind_metrics(None)
+
+    # -- fault injection (repro.faults) -----------------------------------------
+
+    def install_faults(self, plan):
+        """Attach a :class:`~repro.faults.FaultPlan` to the deployment.
+
+        Every DHT operation and fetch scheduler consults it from now on.
+        Installing a plan with all rates at zero leaves answers, reports,
+        and meter snapshots byte-identical to running without one (the
+        differential test in ``tests/test_faults.py``).  Returns the plan.
+        """
+        self.net.faults = plan
+        return plan
+
+    def clear_faults(self):
+        """Detach the plan installed by :meth:`install_faults`."""
+        self.net.faults = None
+
+    def repair(self):
+        """Run one anti-entropy pass; returns the
+        :class:`~repro.faults.RepairReport`."""
+        return self.net.anti_entropy_repair()
+
+    def crash_peer(self, peer):
+        """Abruptly fail ``peer`` (disk kept, no handover)."""
+        self.net.crash_node(peer.node)
+
+    def restart_peer(self, peer):
+        """Rejoin a crashed ``peer``, reconciling its stale state."""
+        self.net.restart_node(peer.node)
 
     # -- queries ------------------------------------------------------------------
 

@@ -1,0 +1,400 @@
+"""Seed-reproducible scenario fuzzer for the fault-injection layer.
+
+Each iteration builds a fresh :class:`~repro.kadop.system.KadopNetwork`,
+installs a :class:`~repro.faults.FaultPlan`, and drives a random
+interleaving of publish / join / crash / restart / repair / query steps,
+checking the fault-tolerance invariants after every step:
+
+* **durability** — every key belonging to an *acknowledged* publish has
+  at least one alive holder (the DHT's "acknowledged writes survive up
+  to replication-1 crashes" claim; the plan's ``max_crashed`` envelope
+  is set to ``replication - 1`` so the claim is actually exercised);
+* **soundness** — query answers are always a subset of the in-memory
+  matcher oracle restricted to alive publishers (the document phase
+  verifies the full pattern, so faults may lose answers but never
+  invent them);
+* **completeness** — when the report says ``complete`` (and no publish
+  was itself cut short by a timeout), answers *equal* the oracle;
+* **conservation** — under DPP, ``blocks_fetched + blocks_skipped``
+  equals the number of data blocks across the query's terms, retries
+  and unreachable holders notwithstanding;
+* **repair honesty** — an anti-entropy pass never reports an
+  acknowledged key as lost.
+
+Everything is derived from ``random.Random(seed + iteration)`` plus the
+plan's own BLAKE2-hashed decisions, so a failing run is replayed exactly
+by the one-line command in the :class:`FuzzFailure` it raises::
+
+    PYTHONPATH=src python -m repro fuzz --seed 1234 --iterations 1 ...
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import NoSuchPeerError
+from repro.faults import FaultPlan, OpTimeoutError
+from repro.kadop.config import KadopConfig
+from repro.kadop.system import KadopNetwork
+from repro.postings.term_relation import label_key, word_key
+from repro.query.index_plan import build_index_plan
+from repro.query.matcher import match_document, match_to_postings
+
+#: small vocabularies keep term collisions (and therefore joins, splits,
+#: and multi-holder keys) frequent at fuzzing scale
+LABELS = "abcd"
+WORDS = ("alpha", "beta", "gamma", "delta")
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of one fuzzing campaign (one plan per iteration)."""
+
+    iterations: int = 20
+    steps: int = 12
+    num_peers: int = 8
+    replication: int = 3
+    crash_rate: float = 0.05
+    drop_rate: float = 0.02
+    delay_rate: float = 0.02
+    duplicate_rate: float = 0.02
+    overlay: str = "pastry"
+    write_quorum: str = "all"
+
+
+class FuzzFailure(AssertionError):
+    """An invariant violation, carrying its one-line repro command."""
+
+    def __init__(self, seed, step, invariant, detail, command):
+        self.seed = seed
+        self.step = step
+        self.invariant = invariant
+        self.detail = detail
+        self.command = command
+        super().__init__(
+            "seed %d step %d: %s (%s)\n  repro: %s"
+            % (seed, step, invariant, detail, command)
+        )
+
+
+@dataclass
+class FuzzResult:
+    """Aggregate outcome of a passing campaign."""
+
+    iterations: int = 0
+    steps: int = 0
+    actions: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
+    queries_checked: int = 0
+
+    def to_dict(self):
+        return {
+            "iterations": self.iterations,
+            "steps": self.steps,
+            "actions": dict(self.actions),
+            "faults": dict(self.faults),
+            "queries_checked": self.queries_checked,
+        }
+
+
+def repro_command(seed, cfg):
+    """The one-line command that replays iteration ``seed`` exactly."""
+    return (
+        "PYTHONPATH=src python -m repro fuzz --seed %d --iterations 1"
+        " --steps %d --peers %d --replication %d --crash-rate %g"
+        " --drop-rate %g --delay-rate %g --duplicate-rate %g --overlay %s"
+        " --write-quorum %s"
+        % (
+            seed,
+            cfg.steps,
+            cfg.num_peers,
+            cfg.replication,
+            cfg.crash_rate,
+            cfg.drop_rate,
+            cfg.delay_rate,
+            cfg.duplicate_rate,
+            cfg.overlay,
+            cfg.write_quorum,
+        )
+    )
+
+
+def _random_xml(rng, depth=0):
+    label = rng.choice(LABELS)
+    if depth >= 2 or rng.random() < 0.4:
+        words = " ".join(rng.choice(WORDS) for _ in range(rng.randrange(1, 3)))
+        return "<%s>%s</%s>" % (label, words, label)
+    inner = "".join(
+        _random_xml(rng, depth + 1) for _ in range(rng.randrange(1, 3))
+    )
+    return "<%s>%s</%s>" % (label, inner, label)
+
+
+def _random_query(rng):
+    """A wildcard-free descendant path: one index component, precise."""
+    return "//" + "//".join(
+        rng.choice(LABELS) for _ in range(rng.randrange(1, 4))
+    )
+
+
+def _oracle(system, pattern, alive_only):
+    """Ground-truth bindings from the in-memory documents themselves."""
+    expected = set()
+    for peer in system.peers:
+        if alive_only and not peer.node.alive:
+            continue
+        for doc_index, document in peer.documents.items():
+            for match in match_document(pattern, document):
+                expected.add(
+                    tuple(
+                        sorted(
+                            match_to_postings(
+                                match, peer.index, doc_index
+                            ).items()
+                        )
+                    )
+                )
+    return expected
+
+
+def _term_keys(pattern):
+    keys = []
+    for component in build_index_plan(pattern).components:
+        for kind, value in component.terms():
+            key = label_key(value) if kind == "label" else word_key(value)
+            if key not in keys:
+                keys.append(key)
+    return keys
+
+
+def _expected_blocks(system, pattern):
+    """Data blocks the executor must account for, or None to skip.
+
+    Mirrors ``_fetch_dpp``: any term whose root is missing or holds no
+    condition-carrying entry makes the executor early-return with (0, 0).
+    """
+    total = 0
+    for key in _term_keys(pattern):
+        root = system.dpp._root_at(system.net.owner_of(key), key)
+        entries = (
+            []
+            if root is None
+            else [e for e in root.entries if e.condition is not None]
+        )
+        if not entries:
+            return 0
+        total += len(entries)
+    return total
+
+
+class _Iteration:
+    """One seeded scenario: the action loop plus its invariant checks."""
+
+    def __init__(self, seed, cfg, result):
+        self.seed = seed
+        self.cfg = cfg
+        self.result = result
+        self.rng = random.Random(seed)
+        self.use_dpp = self.rng.random() < 0.5
+        config = KadopConfig(
+            replication=cfg.replication,
+            overlay=cfg.overlay,
+            write_quorum=cfg.write_quorum,
+            use_dpp=self.use_dpp,
+            dpp_block_entries=4,  # tiny blocks: splits happen at fuzz scale
+            dpp_fetch_mode=self.rng.choice(("eager", "window", "lazy")),
+            # tiny chunks: multi-chunk streams happen at fuzz scale, so
+            # crash-mid-pipelined_get is actually reachable
+            chunk_postings=self.rng.choice((2, 4, 2048)),
+        )
+        self.system = KadopNetwork.create(
+            num_peers=cfg.num_peers, config=config, seed=seed
+        )
+        self.plan = self.system.install_faults(
+            FaultPlan(
+                seed=seed,
+                drop_rate=cfg.drop_rate,
+                delay_rate=cfg.delay_rate,
+                duplicate_rate=cfg.duplicate_rate,
+                crash_rate=cfg.crash_rate,
+                max_crashed=cfg.replication - 1,
+                min_alive=2,
+                restart_after_ops=25,
+            )
+        )
+        self.acked = set()  # keys of acknowledged publishes
+        self.exact = True  # False once a publish was cut short
+        self.step = 0
+        self.joined = 0
+
+    def fail(self, invariant, detail):
+        raise FuzzFailure(
+            self.seed,
+            self.step,
+            invariant,
+            detail,
+            repro_command(self.seed, self.cfg),
+        )
+
+    def _count(self, action):
+        self.result.actions[action] = self.result.actions.get(action, 0) + 1
+
+    # -- actions ---------------------------------------------------------------
+
+    def _alive_peers(self):
+        return [p for p in self.system.peers if p.node.alive]
+
+    def act_publish(self):
+        peer = self.rng.choice(self._alive_peers())
+        xml = _random_xml(self.rng)
+        before = self.system.net._all_keys()
+        try:
+            peer.publish(xml, uri="fuzz:%d:%d" % (self.seed, self.step))
+        except (OpTimeoutError, NoSuchPeerError):
+            # the publish was not (fully) acknowledged — it timed out, or
+            # the publishing peer itself was crashed mid-publish (it is
+            # only protected while it is the src of an individual op, not
+            # across the whole batch): none of its new keys join the
+            # durability set, and later queries may legitimately miss
+            # this document
+            self.exact = False
+            return
+        # only *new* keys join the durability set: appends to pre-existing
+        # keys were acked too, but a snapshot diff cannot tell them apart
+        # from keys an earlier cut-short publish left behind unacked —
+        # under-approximating keeps the invariant free of false alarms
+        self.acked |= self.system.net._all_keys() - before
+
+    def act_join(self):
+        if len(self.system.peers) >= self.cfg.num_peers + 4:
+            return
+        self.joined += 1
+        self.system.add_peer("kadop://fuzz%d/j%d" % (self.seed, self.joined))
+
+    def act_crash(self):
+        node = self.rng.choice(self.system.net.alive_nodes())
+        if self.plan.may_crash(self.system.net, node):
+            self.plan.crash(self.system.net, node)
+
+    def act_restart(self):
+        if self.plan.crashed:
+            self.plan.restart(self.system.net, self.plan.crashed[0])
+
+    def act_repair(self):
+        report = self.system.repair()
+        lost = set(report.lost_keys) & self.acked
+        if lost:
+            self.fail(
+                "repair-lost-acked-key",
+                "anti-entropy lost %s" % sorted(lost)[:3],
+            )
+
+    def act_query(self, query_text=None, equality=True):
+        query_text = query_text or _random_query(self.rng)
+        pattern = self.system.parse(query_text)
+        src = self.rng.choice(self._alive_peers())
+        # mid-query crashes are a different invariant regime (a half-read
+        # stream is indistinguishable from an incomplete answer), so the
+        # stochastic crash trigger pauses while message faults stay live
+        crash_rate = self.plan.crash_rate
+        self.plan.crash_rate = 0.0
+        try:
+            answers, report = self.system.query_with_report(
+                query_text, peer=src
+            )
+        finally:
+            self.plan.crash_rate = crash_rate
+        got = {a.bindings for a in answers}
+        oracle = _oracle(self.system, pattern, alive_only=True)
+        phantom = got - oracle
+        if phantom:
+            self.fail(
+                "phantom-answer",
+                "%s returned %d binding(s) not in the oracle"
+                % (query_text, len(phantom)),
+            )
+        if (
+            equality
+            and self.exact
+            and report.complete
+            and not report.unreachable_keys
+            and got != oracle
+        ):
+            self.fail(
+                "missing-answers",
+                "%s: %d answer(s), oracle has %d, report says complete"
+                % (query_text, len(got), len(oracle)),
+            )
+        if self.use_dpp and not report.unreachable_keys:
+            expected = _expected_blocks(self.system, pattern)
+            observed = report.blocks_fetched + report.blocks_skipped
+            if observed != expected:
+                self.fail(
+                    "blocks-conservation",
+                    "%s: fetched %d + skipped %d != %d blocks"
+                    % (
+                        query_text,
+                        report.blocks_fetched,
+                        report.blocks_skipped,
+                        expected,
+                    ),
+                )
+        self.result.queries_checked += 1
+
+    def check_durability(self):
+        alive = self.system.net.alive_nodes()
+        for key in self.acked:
+            if not any(key in n.store or key in n.objects for n in alive):
+                self.fail(
+                    "acked-key-unavailable",
+                    "%r has no alive holder (%d down)"
+                    % (key, len(self.plan.crashed)),
+                )
+
+    # -- the scenario ----------------------------------------------------------
+
+    def run(self):
+        actions = (
+            ("publish", self.act_publish, 4),
+            ("query", self.act_query, 3),
+            ("crash", self.act_crash, 1),
+            ("restart", self.act_restart, 1),
+            ("join", self.act_join, 1),
+            ("repair", self.act_repair, 1),
+        )
+        names = [a[0] for a in actions]
+        weights = [a[2] for a in actions]
+        by_name = {a[0]: a[1] for a in actions}
+        # seed content so the first queries have something to miss
+        self.act_publish()
+        self._count("publish")
+        self.check_durability()
+        for self.step in range(1, self.cfg.steps + 1):
+            name = self.rng.choices(names, weights=weights)[0]
+            self._count(name)
+            by_name[name]()
+            self.check_durability()
+            self.result.steps += 1
+        # convergence: once every peer is back and repair has run, a
+        # fully-acknowledged corpus must answer exactly again
+        self.step = self.cfg.steps + 1
+        while self.plan.crashed:
+            self.plan.restart(self.system.net, self.plan.crashed[0])
+        self.act_repair()
+        self.check_durability()
+        for label in LABELS:
+            self.act_query("//" + label)
+        for key, value in self.plan.stats.to_dict().items():
+            self.result.faults[key] = self.result.faults.get(key, 0) + value
+
+
+def run_fuzz(seed=0, config=None, progress=None):
+    """Run a campaign; returns :class:`FuzzResult` or raises the first
+    :class:`FuzzFailure` (whose message carries the repro command)."""
+    cfg = config or FuzzConfig()
+    result = FuzzResult()
+    for i in range(cfg.iterations):
+        _Iteration(seed + i, cfg, result).run()
+        result.iterations += 1
+        if progress is not None:
+            progress(seed + i, result)
+    return result

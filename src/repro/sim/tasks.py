@@ -76,6 +76,15 @@ class Scheduler:
         self._tasks = []
         self._capacity = {}
         self._seq = count()
+        self._faults = None  # optional repro.faults.FaultPlan (link jitter)
+
+    def install_faults(self, plan):
+        """Attach a :class:`~repro.faults.FaultPlan`; started tasks are
+        stretched by its deterministic link jitter (``task_delay``).  A
+        plan with ``task_jitter_rate`` 0 leaves every schedule
+        byte-identical to running without one."""
+        self._faults = plan
+        return plan
 
     def add_resource(self, name, capacity):
         """Declare resource ``name`` with integer slot ``capacity``."""
@@ -154,7 +163,14 @@ class Scheduler:
                     for r in task.resources:
                         free[r] -= 1
                     task.start = now
-                    task.finish = now + task.duration
+                    duration = task.duration
+                    if self._faults is not None:
+                        # deterministic congestion jitter: a keyed hash of
+                        # (name, seq) decides whether — and by how much —
+                        # this transfer is stretched, so schedules replay
+                        # exactly from the plan's seed
+                        duration += self._faults.task_delay(task.name, task.seq)
+                    task.finish = now + duration
                     heapq.heappush(running, (task.finish, seq, task))
                 else:
                     task.blocked_on = next(

@@ -14,7 +14,7 @@ class TestCli:
 
     def test_registry_complete(self):
         registry = _registry()
-        assert len(registry) == 14  # tables, figures, ablations, optimizer, views
+        assert len(registry) == 15  # tables, figures, ablations, views, faults
         for runner, formatter, checker, description in registry.values():
             assert callable(runner) and callable(formatter)
             assert description
