@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace fuzz-smoke bench-micro bench bench-views bench-blocks
+.PHONY: test test-all lint trace fuzz-smoke bench-micro bench bench-views bench-blocks bench-serve
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -49,3 +49,9 @@ bench-views:
 # baseline for lazy blocks_fetched
 bench-blocks:
 	$(PY) -m repro.experiments.block_pruning --out BENCH_blocks.json
+
+# concurrent-serving saturation sweep (coalescing x admission ablations);
+# refreshes the committed BENCH_serve.json, which doubles as the CI
+# regression baseline for coalesced byte savings and admitted tail latency
+bench-serve:
+	$(PY) -m repro.experiments.serving --out BENCH_serve.json

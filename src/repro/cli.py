@@ -40,6 +40,7 @@ def _registry():
         filter_sensitivity,
         pipeline_ablation,
         posting_skew,
+        serving,
         store_ablation,
         table1_dyadic,
         traffic,
@@ -136,6 +137,12 @@ def _registry():
             fault_tolerance.format_rows,
             fault_tolerance.check_shape,
             "Section 4.2 ablation: completeness/latency vs. crash rate",
+        ),
+        "serve": (
+            serving.run,
+            serving.format_rows,
+            serving.check_shape,
+            "Concurrent serving: saturation sweep with coalescing/admission",
         ),
     }
 
@@ -359,6 +366,7 @@ def cmd_fuzz(args):
         duplicate_rate=args.duplicate_rate,
         overlay=args.overlay,
         write_quorum=args.write_quorum,
+        serve_weight=args.serve_weight,
     )
     progress = None
     if not getattr(args, "json", False):
@@ -500,6 +508,11 @@ def main(argv=None):
     )
     fuzz_parser.add_argument(
         "--write-quorum", choices=("all", "majority"), default="all"
+    )
+    fuzz_parser.add_argument(
+        "--serve-weight", type=int, default=1,
+        help="weight of the concurrent-serving burst step (0 disables it"
+        " and reproduces pre-serving campaigns exactly)",
     )
     fuzz_parser.add_argument(
         "--json", action="store_true", help="machine-readable JSON summary"

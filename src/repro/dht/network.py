@@ -143,6 +143,11 @@ class DhtNetwork:
         # fault injection (repro.faults): a FaultPlan consulted by every
         # op when installed (KadopNetwork.install_faults); None = no faults
         self.faults = None
+        # single-flight fetch coalescing (repro.kadop.serving): installed
+        # only while a serving engine runs with coalescing on; ``get`` and
+        # ``pipelined_get`` then join an in-flight fetch of the same key
+        # instead of paying for a second transfer.  None = every fetch real.
+        self.coalescer = None
         self.retry = RetryPolicy()
         self.write_quorum = "all"  # or "majority": acks needed per write
         self._write_stamp = 0  # source of next_stamp()
@@ -887,6 +892,12 @@ class DhtNetwork:
 
     def get(self, src, key):
         """Blocking ``get``: the full posting list, in one response."""
+        if self.coalescer is not None:
+            flight = self.coalescer.lookup("get", key)
+            if flight is not None:
+                # join the in-flight fetch: same data, one fanned-out
+                # receipt, zero additional metered bytes or fault ops
+                return flight.data, OpReceipt(duration_s=flight.receipt_s)
         plan = self.faults
         idx = plan.begin_op(self, "get", key) if plan is not None else None
         owner, locate_receipt = self.locate(
@@ -937,6 +948,10 @@ class DhtNetwork:
                     OpReceipt(response_bytes=payload), count_bytes=False
                 )
         self._observe_op("get", src, key, receipt, payload=payload)
+        if self.coalescer is not None:
+            self.coalescer.register(
+                "get", key, plist, payload, receipt.duration_s
+            )
         return plist, receipt
 
     def block_get(self, src, key, postings):
@@ -998,6 +1013,10 @@ class DhtNetwork:
         executor schedules the remaining chunks against link resources to
         model the pipeline.
         """
+        if self.coalescer is not None:
+            flight = self.coalescer.lookup("pget", key)
+            if flight is not None:
+                return flight.data, OpReceipt(duration_s=flight.receipt_s)
         plan = self.faults
         idx = (
             plan.begin_op(self, "pipelined_get", key)
@@ -1084,6 +1103,10 @@ class DhtNetwork:
                 self.meter.record("postings", total)
                 receipt.merge(OpReceipt(response_bytes=total), count_bytes=False)
         self._observe_op("pipelined_get", src, key, receipt, payload=total)
+        if self.coalescer is not None:
+            self.coalescer.register(
+                "pget", key, chunks, total, receipt.duration_s
+            )
         return chunks, receipt
 
     def delete(self, src, key, posting=None):

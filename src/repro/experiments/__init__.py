@@ -21,6 +21,7 @@ measured values for each experiment.
 | ``dpp_order_ablation``       | Section 4.1 ordered vs random   |
 | ``optimizer_eval``           | §5.4/§8 strategy optimizer      |
 | ``fault_tolerance``          | §4.2 replication under crashes  |
+| ``serving``                  | concurrent-serving saturation   |
 """
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "optimizer_eval",
     "pipeline_ablation",
     "posting_skew",
+    "serving",
     "store_ablation",
     "table1_dyadic",
     "traffic",

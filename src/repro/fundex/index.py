@@ -224,37 +224,66 @@ class FundexIndex:
         report.traffic = net.meter.delta_since(snapshot)
         return answers, report
 
+    def _component_docs(self, component, src_peer):
+        """Candidate ``(peer, doc)`` ids of one index-plan component, via
+        the executor's own fetch machinery.
+
+        Fundex must not re-implement posting retrieval: under DPP the Term
+        relation lives in blocks (plain ``net.get`` on a term key returns
+        nothing), and ``dpp_fetch_mode`` decides whether those blocks
+        arrive eagerly, windowed, or lazily zone-map-pruned.  We call
+        :meth:`QueryExecutor._fetch_streams` and then mirror the
+        executor's own join dispatch on the block state it leaves behind
+        (consuming it, so none leaks into a later query): lazy fetches
+        already ran the demand-driven block join, window/eager fetches
+        join meaningful block vectors, and the plain path twig-joins the
+        merged streams."""
+        executor = self.system.executor
+        from repro.query.block_join import parallel_block_join
+        from repro.query.twigjoin import twig_join
+
+        executor._last_dpp_blocks = None
+        executor._last_dpp_solutions = None
+        streams, fetch_time, _ = executor._fetch_streams(
+            component, src_peer, None
+        )
+        dpp_blocks = getattr(executor, "_last_dpp_blocks", None)
+        executor._last_dpp_blocks = None
+        dpp_solutions = getattr(executor, "_last_dpp_solutions", None)
+        executor._last_dpp_solutions = None
+        executor._last_dpp_counters = None
+        if dpp_solutions is not None:
+            bindings, _ = dpp_solutions
+        elif dpp_blocks is not None:
+            bindings = parallel_block_join(component, dpp_blocks).solutions
+        else:
+            bindings = twig_join(component, streams)
+        root_id = component.root.node_id
+        return {(b[root_id].peer, b[root_id].doc) for b in bindings}, fetch_time
+
     def _candidate_docs(self, pattern, src_peer):
         """Complete candidate set: extensional index candidates plus the
         intensional documents that contain the root term."""
-        from repro.kadop.execution import term_key_of
         from repro.query.index_plan import build_index_plan
 
-        executor = self.system.executor
         plan = build_index_plan(pattern)
         candidates = set()
         index_time = 0.0
         for component, _ in zip(plan.components, plan.node_maps):
-            streams, fetch_time, _ = executor._fetch_streams(
-                component, src_peer, None
-            )
-            from repro.query.twigjoin import twig_join
-
-            bindings = twig_join(component, streams)
-            docs = {
-                (b[component.root.node_id].peer, b[component.root.node_id].doc)
-                for b in bindings
-            }
+            docs, fetch_time = self._component_docs(component, src_peer)
             index_time = max(index_time, fetch_time)
             candidates |= docs
 
-        # intensional docs whose extensional part holds the pattern root
+        # intensional docs whose extensional part holds the pattern root:
+        # looked up as a single-node pattern through the same machinery,
+        # so the root-term postings too come off the DPP blocks when DPP
+        # is on (a raw ``net.get`` here found only the empty plain key and
+        # silently dropped every intensional candidate)
         root = pattern.root
         if root.term is not None:
-            key = term_key_of(root)
-            plist, receipt = self.system.net.get(src_peer.node, key)
-            index_time = max(index_time, receipt.duration_s)
-            root_docs = set(plist.doc_ids())
+            single = _single_node_pattern(root)
+            root_docs, lookup_time = self._component_docs(single, src_peer)
+            index_time = max(index_time, lookup_time)
             candidates |= self._intensional_docs & root_docs
         else:
             candidates |= self._intensional_docs
@@ -343,7 +372,14 @@ class FundexIndex:
 
         Look-ups for fids owned by the same peer are batched into one
         round trip; distinct owners answer in parallel, so the simulated
-        time is the slowest owner's batch."""
+        time is the slowest owner's batch.
+
+        Unlike term postings, ``rev:*`` keys are read off the owner's
+        store directly on purpose: the Rev relation is Fundex control
+        data written with plain ``net.append`` (never routed through
+        ``dpp.append``), so there are no DPP blocks to consult and no
+        ``dpp_fetch_mode`` to honour — the transfer is metered and timed
+        explicitly right here."""
         net = self.system.net
         ra = {}
         per_owner_time = {}
@@ -399,6 +435,18 @@ class FundexIndex:
             if ok:
                 completed.append(answer)
         return completed
+
+
+def _single_node_pattern(node):
+    """A one-node descendant pattern matching just ``node``'s term."""
+    from repro.query.pattern import Axis
+
+    copy = (
+        PatternNode(word=node.word, axis=Axis.DESCENDANT)
+        if node.is_word
+        else PatternNode(label=node.label, axis=Axis.DESCENDANT)
+    )
+    return TreePattern(copy)
 
 
 def _subtree_pattern(node):

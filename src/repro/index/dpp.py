@@ -297,6 +297,11 @@ class DppIndex:
 
     def root(self, src, term_key):
         """Fetch a term's root block over the network (query-time path)."""
+        coalescer = self.net.coalescer
+        if coalescer is not None:
+            flight = coalescer.lookup("dpproot", term_key)
+            if flight is not None:
+                return flight.data, OpReceipt(duration_s=flight.receipt_s)
         owner, receipt = self.net.locate(src, term_key)
         root = self._root_at(owner, term_key)
         if root is not None:
@@ -304,6 +309,10 @@ class DppIndex:
             self.net.meter.record("control", nbytes)
             receipt.response_bytes += nbytes
             receipt.duration_s += self.net.cost.transfer_time(nbytes, hops=1)
+            if coalescer is not None:
+                coalescer.register(
+                    "dpproot", term_key, root, nbytes, receipt.duration_s
+                )
         return root, receipt
 
     # -- insertion -----------------------------------------------------------------
@@ -606,6 +615,15 @@ class DppIndex:
         reflects only this block — the executor schedules blocks in
         parallel.  Access counts drive popularity replication, and fetches
         rotate over the block's copies."""
+        coalescer = self.net.coalescer
+        block_id = (term_key, entry.seq, doc_lo, doc_hi)
+        if coalescer is not None:
+            flight = coalescer.lookup("dppblk", block_id)
+            if flight is not None:
+                # join the in-flight block transfer: no access-count bump
+                # (nothing was fetched), no replication trigger, no bytes
+                postings, holder = flight.data
+                return postings, holder, OpReceipt(duration_s=flight.receipt_s)
         owner = self.net.owner_of(term_key)
         entry.access_count += 1
         self._maybe_replicate(owner, entry, term_key)
@@ -621,6 +639,14 @@ class DppIndex:
         else:
             postings = holder.store.get(store_key)
         receipt = self.net.block_get(src, store_key, postings)
+        if coalescer is not None:
+            coalescer.register(
+                "dppblk",
+                block_id,
+                (postings, holder),
+                encoded_size(postings),
+                receipt.duration_s,
+            )
         return postings, holder, receipt
 
     def full_list(self, src, term_key):

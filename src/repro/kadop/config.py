@@ -89,6 +89,19 @@ class KadopConfig:
                          generic DHT interface of Section 2
     ``cost``             the calibrated :class:`CostParams`
 
+    Concurrent serving (:mod:`repro.kadop.serving` — only consulted by
+    :meth:`KadopNetwork.serve`; single-query runs ignore these):
+
+    ``max_inflight``        admission-control bound on concurrently
+                            executing queries; None admits every query the
+                            instant it arrives (no queue)
+    ``admission_policy``    ``"fifo"`` (arrival order) or ``"fair"``
+                            (fair share per source peer: the source with
+                            the fewest admitted queries goes first)
+    ``coalesce_fetches``    single-flight coalescing — concurrent queries
+                            demanding the same term key / DPP block / view
+                            block share one in-flight fetch
+
     Fault tolerance (:mod:`repro.faults` — only observable when a
     FaultPlan is installed; all-zero-fault runs are byte-identical to the
     pre-fault code path):
@@ -137,6 +150,10 @@ class KadopConfig:
     overlay: str = "pastry"
     cost: CostParams = field(default_factory=CostParams)
 
+    max_inflight: int = None
+    admission_policy: str = "fifo"
+    coalesce_fetches: bool = True
+
     op_timeout_s: float = 0.25
     op_max_retries: int = 6
     retry_backoff_s: float = 0.05
@@ -178,6 +195,13 @@ class KadopConfig:
             raise ConfigError(
                 "write_quorum must be 'all' or 'majority', got %r"
                 % (self.write_quorum,)
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1 or None")
+        if self.admission_policy not in ("fifo", "fair"):
+            raise ConfigError(
+                "admission_policy must be 'fifo' or 'fair', got %r"
+                % (self.admission_policy,)
             )
         if self.op_max_retries < 0:
             raise ConfigError("op_max_retries must be >= 0")

@@ -98,6 +98,16 @@ class QueryExecutor:
 
     def __init__(self, system):
         self.system = system
+        # serving-engine capture (repro.kadop.serving): when not None, every
+        # finished transfer schedule is appended as ``(scheduler, rel_extra)``
+        # instead of being fed to the metrics registry — the engine replays
+        # the tasks into its shared timeline and feeds metrics once from
+        # there, so resource counters are not double-counted
+        self._capture = None
+        # per-peer document-phase times of the most recent run, as
+        # ``[(peer_index, time_s)]`` — the serving engine turns these into
+        # per-peer egress tasks on the shared timeline
+        self._last_doc_peer_times = None
 
     # -- entry point -------------------------------------------------------------
 
@@ -569,6 +579,11 @@ class QueryExecutor:
         offset and the schedule's t=0 (locate/root-block latency)."""
         system = self.system
         tracer, metrics = system.tracer, system.metrics
+        if self._capture is not None:
+            # serving capture: the engine replays these tasks into the
+            # shared timeline and feeds the metrics registry from there
+            self._capture.append((scheduler, rel_extra))
+            metrics = None
         if tracer is None and metrics is None:
             return
         ctx = tracer.context if tracer is not None else None
@@ -1009,12 +1024,14 @@ class QueryExecutor:
 
         answers = []
         peer_times = []
+        doc_peer_times = []
         timed_out = 0
         for peer_idx, doc_indexes in by_peer.items():
             peer = system.peers[peer_idx]
             if not peer.node.alive:
                 timed_out += 1
                 peer_times.append(timeout_s)
+                doc_peer_times.append((peer_idx, timeout_s))
                 if ctx is not None:
                     tracer.add(
                         "doc:timeout peer%d" % peer_idx,
@@ -1049,6 +1066,7 @@ class QueryExecutor:
                 sent_bytes, hops=1
             )
             peer_times.append(peer_time)
+            doc_peer_times.append((peer_idx, peer_time))
             if ctx is not None:
                 tracer.add(
                     "doc:peer%d" % peer_idx,
@@ -1064,5 +1082,6 @@ class QueryExecutor:
                     parent=ctx.parent_id,
                 )
         doc_time = max(peer_times) if peer_times else 0.0
+        self._last_doc_peer_times = doc_peer_times
         answers.sort(key=lambda a: (a.peer, a.doc, a.bindings))
         return answers, doc_time, timed_out

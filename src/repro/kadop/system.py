@@ -199,6 +199,30 @@ class KadopNetwork:
         src = peer or self.peers[0]
         return self.executor.run(pattern, src, strategy=strategy)
 
+    def serve(self, arrivals, max_inflight=None, policy=None, coalesce=None):
+        """Serve an open-loop query stream concurrently.
+
+        ``arrivals`` is an iterable of
+        :class:`~repro.kadop.serving.QueryArrival` (or ``(arrival_s,
+        query_text[, keyword_steps[, src_peer_index]])`` tuples).  Queries
+        run against one shared scheduler timeline — overlapping queries
+        contend for per-peer links and CPU.  ``max_inflight`` / ``policy``
+        / ``coalesce`` default to the config knobs when left at ``None``
+        (``max_inflight=None`` therefore means "use the config bound";
+        construct a :class:`~repro.kadop.serving.ServingEngine` directly
+        to force unbounded admission over a bounded config).  Returns a
+        :class:`~repro.kadop.serving.ServingResult`.
+        """
+        from repro.kadop.serving import _UNSET, ServingEngine
+
+        engine = ServingEngine(
+            self,
+            max_inflight=_UNSET if max_inflight is None else max_inflight,
+            policy=policy,
+            coalesce=coalesce,
+        )
+        return engine.run(arrivals)
+
     def xquery(self, text, keyword_steps=(), peer=None, strategy=None):
         """Run a FLWOR query (the XQuery subset of Section 2).
 

@@ -134,6 +134,17 @@ class Tracer:
                 return
         raise KeyError("no span with id %r" % (span_id,))
 
+    def seek(self, instant_s):
+        """Move the timeline cursor to an absolute simulated instant.
+
+        Concurrent serving opens each query's root span at its *admission*
+        time rather than after the previous query closed; the serving
+        engine seeks before each ``begin_query`` so overlapping queries
+        land where they actually ran on the shared timeline."""
+        if instant_s < 0:
+            raise ValueError("cannot seek to negative time %r" % (instant_s,))
+        self._cursor = float(instant_s)
+
     def begin_query(self, name, args=None):
         """Open a query root span at the timeline cursor."""
         root_id = self.add(name, "query", "query", self._cursor, 0.0, args=args)
@@ -141,14 +152,19 @@ class Tracer:
         return self._ctx
 
     def end_query(self, ctx, duration_s, args=None):
-        """Close the query: fix the root duration, advance the cursor."""
+        """Close the query: fix the root duration, advance the cursor.
+
+        The cursor only ever moves forward here: when queries overlap (the
+        serving engine seeks backward to admit a query at an earlier
+        instant), a short query ending inside a longer one's window must
+        not rewind the timeline for whoever begins next."""
         for span in reversed(self.spans):
             if span.span_id == ctx.root_id:
                 span.duration_s = duration_s
                 if args:
                     span.args.update(args)
                 break
-        self._cursor = ctx.base + duration_s + QUERY_GAP_S
+        self._cursor = max(self._cursor, ctx.base + duration_s + QUERY_GAP_S)
         self.queries += 1
         if self._ctx is ctx:
             self._ctx = None

@@ -2,8 +2,12 @@
 
 Each iteration builds a fresh :class:`~repro.kadop.system.KadopNetwork`,
 installs a :class:`~repro.faults.FaultPlan`, and drives a random
-interleaving of publish / join / crash / restart / repair / query steps,
-checking the fault-tolerance invariants after every step:
+interleaving of publish / join / crash / restart / repair / query /
+serve steps, checking the fault-tolerance invariants after every step
+(the *serve* step pushes a burst of overlapping queries through the
+concurrent serving engine — admission bound, coalescing on — and holds
+each served query to the same soundness/completeness oracle as a serial
+query):
 
 * **durability** — every key belonging to an *acknowledged* publish has
   at least one alive holder (the DHT's "acknowledged writes survive up
@@ -59,6 +63,10 @@ class FuzzConfig:
     duplicate_rate: float = 0.02
     overlay: str = "pastry"
     write_quorum: str = "all"
+    #: weight of the concurrent-serving step (0 reproduces pre-serving
+    #: campaigns byte-for-byte: a zero-weight tail entry never wins a
+    #: ``rng.choices`` draw and consumes no extra randomness)
+    serve_weight: int = 1
 
 
 class FuzzFailure(AssertionError):
@@ -102,7 +110,7 @@ def repro_command(seed, cfg):
         "PYTHONPATH=src python -m repro fuzz --seed %d --iterations 1"
         " --steps %d --peers %d --replication %d --crash-rate %g"
         " --drop-rate %g --delay-rate %g --duplicate-rate %g --overlay %s"
-        " --write-quorum %s"
+        " --write-quorum %s --serve-weight %d"
         % (
             seed,
             cfg.steps,
@@ -114,6 +122,7 @@ def repro_command(seed, cfg):
             cfg.duplicate_rate,
             cfg.overlay,
             cfg.write_quorum,
+            cfg.serve_weight,
         )
     )
 
@@ -225,6 +234,7 @@ class _Iteration:
         self.exact = True  # False once a publish was cut short
         self.step = 0
         self.joined = 0
+        self.served_coalesced = 0  # single-flight joins across serve bursts
 
     def fail(self, invariant, detail):
         raise FuzzFailure(
@@ -340,6 +350,81 @@ class _Iteration:
                 )
         self.result.queries_checked += 1
 
+    def act_serve(self):
+        """A burst of overlapping queries through the serving engine.
+
+        Exercises the shared-timeline replay, bounded admission, and
+        single-flight coalescing *under message faults* (drops, delays,
+        duplicates stay live; only the stochastic crash trigger pauses,
+        for the same reason it does in :meth:`act_query`).  Answers must
+        be byte-identical to what a serial run of each query would
+        return, so every served query faces the full oracle check."""
+        from repro.kadop.serving import QueryArrival
+
+        alive = self._alive_peers()
+        arrivals = []
+        for j in range(self.rng.randrange(2, 4)):
+            arrivals.append(
+                QueryArrival(
+                    # near-simultaneous arrivals: with max_inflight=2 a
+                    # 3-query burst actually queues and interleaves
+                    arrival_s=j * 0.001,
+                    query_text=_random_query(self.rng),
+                    src=self.rng.choice(alive).index,
+                )
+            )
+        crash_rate = self.plan.crash_rate
+        self.plan.crash_rate = 0.0
+        try:
+            result = self.system.serve(
+                arrivals, max_inflight=2, policy="fifo", coalesce=True
+            )
+        finally:
+            self.plan.crash_rate = crash_rate
+        self.served_coalesced += result.coalesced_hits
+        for served in result.queries:
+            query_text = served.query_text
+            pattern = self.system.parse(query_text)
+            got = {a.bindings for a in served.answers}
+            oracle = _oracle(self.system, pattern, alive_only=True)
+            phantom = got - oracle
+            if phantom:
+                self.fail(
+                    "phantom-answer",
+                    "served %s returned %d binding(s) not in the oracle"
+                    % (query_text, len(phantom)),
+                )
+            if (
+                self.exact
+                and served.report.complete
+                and not served.report.unreachable_keys
+                and got != oracle
+            ):
+                self.fail(
+                    "missing-answers",
+                    "served %s: %d answer(s), oracle has %d, report says"
+                    " complete"
+                    % (query_text, len(got), len(oracle)),
+                )
+            if self.use_dpp and not served.report.unreachable_keys:
+                expected = _expected_blocks(self.system, pattern)
+                observed = (
+                    served.report.blocks_fetched
+                    + served.report.blocks_skipped
+                )
+                if observed != expected:
+                    self.fail(
+                        "blocks-conservation",
+                        "served %s: fetched %d + skipped %d != %d blocks"
+                        % (
+                            query_text,
+                            served.report.blocks_fetched,
+                            served.report.blocks_skipped,
+                            expected,
+                        ),
+                    )
+            self.result.queries_checked += 1
+
     def check_durability(self):
         alive = self.system.net.alive_nodes()
         for key in self.acked:
@@ -360,6 +445,10 @@ class _Iteration:
             ("restart", self.act_restart, 1),
             ("join", self.act_join, 1),
             ("repair", self.act_repair, 1),
+            # last on purpose: with serve_weight=0 the cumulative-weight
+            # table gains only a duplicate tail entry, so rng.choices
+            # picks the exact same actions as a pre-serving campaign
+            ("serve", self.act_serve, self.cfg.serve_weight),
         )
         names = [a[0] for a in actions]
         weights = [a[2] for a in actions]

@@ -9,9 +9,13 @@ transfers; a producer's egress link with capacity 1 serializes its
 transfers).
 
 The schedule is computed by discrete-event list scheduling: at every event
-time, ready tasks are started greedily in submission order if *all* their
-resources have a free slot.  Because ties are broken by submission order the
-result is fully deterministic.
+time, ready tasks are started greedily in ``(priority, submission)`` order
+if *all* their resources have a free slot.  Every task defaults to priority
+0, so plain graphs schedule purely by submission order; the serving engine
+(:mod:`repro.kadop.serving`) sets per-query progress ordinals as priorities
+so concurrent queries share contended resources round-robin instead of
+strictly by admission order.  Ties are broken by submission order, so the
+result is fully deterministic either way.
 """
 
 import heapq
@@ -28,6 +32,11 @@ class Task:
                    all dependencies are done (models work submitted to an
                    already-running schedule, e.g. a lazy DPP block fetch
                    demanded mid-join).
+    ``tag``        opaque owner label (e.g. the serving engine's query seq)
+                   so a shared schedule can be sliced back per submitter.
+    ``priority``   list-scheduling rank: among ready tasks, lower priority
+                   starts first (ties by submission order).  Defaults to 0
+                   everywhere, which reproduces pure submission order.
 
     After :meth:`Scheduler.run`, ``start``/``finish`` hold the schedule,
     ``ready`` the instant the task became startable (dependencies done and
@@ -42,6 +51,8 @@ class Task:
         "deps",
         "resources",
         "release",
+        "tag",
+        "priority",
         "seq",
         "start",
         "finish",
@@ -49,7 +60,9 @@ class Task:
         "blocked_on",
     )
 
-    def __init__(self, name, duration, deps=(), resources=(), release=0.0):
+    def __init__(
+        self, name, duration, deps=(), resources=(), release=0.0, tag=None, priority=0
+    ):
         if duration < 0:
             raise ValueError("task %r has negative duration %r" % (name, duration))
         if release < 0:
@@ -59,6 +72,8 @@ class Task:
         self.deps = list(deps)
         self.resources = tuple(resources)
         self.release = float(release)
+        self.tag = tag
+        self.priority = priority
         self.seq = None  # assigned by the scheduler
         self.start = None
         self.finish = None
@@ -100,9 +115,19 @@ class Scheduler:
         """``{resource: capacity}`` of every declared resource."""
         return dict(self._capacity)
 
-    def add_task(self, name, duration, deps=(), resources=(), release=0.0):
+    def add_task(
+        self, name, duration, deps=(), resources=(), release=0.0, tag=None, priority=0
+    ):
         """Create, register, and return a :class:`Task`."""
-        task = Task(name, duration, deps=deps, resources=resources, release=release)
+        task = Task(
+            name,
+            duration,
+            deps=deps,
+            resources=resources,
+            release=release,
+            tag=tag,
+            priority=priority,
+        )
         for res in task.resources:
             if res not in self._capacity:
                 raise KeyError("unknown resource %r for task %r" % (res, name))
@@ -132,10 +157,11 @@ class Scheduler:
         free = dict(self._capacity)
         for task in self._tasks:  # a fresh run owes no state to a prior one
             task.start = task.finish = task.ready = task.blocked_on = None
-        # Ready queue is a min-heap keyed by seq: newly unblocked tasks are
-        # pushed in O(log n) instead of re-sorting the whole list at every
-        # event.  The start scan pops in seq order — exactly the order the
-        # sorted-list implementation used — so schedules are byte-identical.
+        # Ready queue is a min-heap keyed by (priority, seq): newly
+        # unblocked tasks are pushed in O(log n) instead of re-sorting the
+        # whole list at every event.  With the default priority 0 the start
+        # scan pops in pure seq order — exactly the order the sorted-list
+        # implementation used — so plain schedules are byte-identical.
         ready = []
         # Tasks whose dependencies are done but whose release time lies in
         # the future wait in ``pending`` (a min-heap on release) and are
@@ -147,7 +173,7 @@ class Scheduler:
                     heapq.heappush(pending, (t.release, t.seq, t))
                 else:
                     t.ready = 0.0
-                    ready.append(t.seq)
+                    ready.append((t.priority, t.seq))
         heapq.heapify(ready)
         running = []  # heap of (finish_time, seq, task)
         now = 0.0
@@ -157,8 +183,8 @@ class Scheduler:
             nonlocal ready
             blocked = []
             while ready:
-                seq = heapq.heappop(ready)
-                task = by_seq[seq]
+                key = heapq.heappop(ready)
+                task = by_seq[key[1]]
                 if all(free[r] > 0 for r in task.resources):
                     for r in task.resources:
                         free[r] -= 1
@@ -171,13 +197,13 @@ class Scheduler:
                         # exactly from the plan's seed
                         duration += self._faults.task_delay(task.name, task.seq)
                     task.finish = now + duration
-                    heapq.heappush(running, (task.finish, seq, task))
+                    heapq.heappush(running, (task.finish, task.seq, task))
                 else:
                     task.blocked_on = next(
                         r for r in task.resources if free[r] <= 0
                     )
-                    blocked.append(seq)
-            # ``blocked`` was produced in increasing seq order, so it is
+                    blocked.append(key)
+            # ``blocked`` was produced in increasing key order, so it is
             # already a valid min-heap
             ready = blocked
 
@@ -201,13 +227,13 @@ class Scheduler:
                                 )
                             else:
                                 child.ready = now
-                                heapq.heappush(ready, child.seq)
+                                heapq.heappush(ready, (child.priority, child.seq))
             else:
                 now = pending[0][0]
             while pending and pending[0][0] <= now:
                 _, seq, task = heapq.heappop(pending)
                 task.ready = now
-                heapq.heappush(ready, seq)
+                heapq.heappush(ready, (task.priority, seq))
             try_start()
 
         if completed != len(self._tasks):
@@ -228,6 +254,10 @@ class Scheduler:
     def makespan_of(self, tasks):
         """Max finish time over ``tasks`` (after :meth:`run`)."""
         return max(t.finish for t in tasks)
+
+    def tasks_tagged(self, tag):
+        """Every registered task carrying ``tag`` (submission order)."""
+        return [t for t in self._tasks if t.tag == tag]
 
 
 def serial_time(durations):

@@ -216,6 +216,15 @@ class ViewBlockStore:
         Returns ``(postings, makespan_s, first_block_s, total_bytes)``;
         transfers are scheduled degree-K parallel over per-holder egress
         links and the query peer's ingress, like DPP block fetches."""
+        coalescer = self.net.coalescer
+        if coalescer is not None:
+            flight = coalescer.lookup("view", view.view_id)
+            if flight is not None:
+                # a concurrent query is already pulling this view's blocks:
+                # share the in-flight transfer — the views catalog serves
+                # the repeat without putting a second copy on the wire
+                merged, makespan, first = flight.data
+                return merged, makespan, first, 0
         scheduler = Scheduler()
         ingress = scheduler.add_resource(
             "ingress", self.system.config.parallelism
@@ -242,4 +251,12 @@ class ViewBlockStore:
             if first is None:
                 first = duration
         makespan = scheduler.run()
+        if coalescer is not None:
+            coalescer.register(
+                "view",
+                view.view_id,
+                (merged, makespan, first or 0.0),
+                total_bytes,
+                makespan,
+            )
         return merged, makespan, first or 0.0, total_bytes

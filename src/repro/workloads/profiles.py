@@ -188,3 +188,39 @@ def zipfian_query_workload(profile, seed=0):
         else:
             stream.append(vocab.zipf_choice(rng, pool, skew=profile.zipf_skew))
     return stream
+
+
+def open_loop_workload(profile, rate_qps, seed=0, num_sources=4):
+    """An open-loop arrival trace over ``profile``'s query pool.
+
+    Queries are drawn exactly like :func:`zipfian_query_workload`; each is
+    stamped with a Poisson arrival instant (exponential inter-arrival
+    gaps at ``rate_qps`` queries/second of *simulated* time, independent
+    of service times — the open-loop property that makes saturation
+    visible) and a uniformly drawn source peer in ``[0, num_sources)``.
+    Returns ``[QueryArrival]``, deterministic for a given
+    ``(profile, rate_qps, seed, num_sources)``.
+    """
+    from repro.kadop.serving import QueryArrival
+
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be > 0")
+    if num_sources < 1:
+        raise ValueError("num_sources must be >= 1")
+    stream = zipfian_query_workload(profile, seed=seed)
+    rng = random.Random(
+        "%s:%s:%g:arrivals" % (profile.name, seed, rate_qps)
+    )
+    arrivals = []
+    clock = 0.0
+    for query_text, keyword_steps in stream:
+        clock += rng.expovariate(rate_qps)
+        arrivals.append(
+            QueryArrival(
+                arrival_s=clock,
+                query_text=query_text,
+                keyword_steps=keyword_steps,
+                src=rng.randrange(num_sources),
+            )
+        )
+    return arrivals

@@ -14,7 +14,7 @@ class TestCli:
 
     def test_registry_complete(self):
         registry = _registry()
-        assert len(registry) == 15  # tables, figures, ablations, views, faults
+        assert len(registry) == 16  # tables, figures, ablations, views, faults, serve
         for runner, formatter, checker, description in registry.values():
             assert callable(runner) and callable(formatter)
             assert description

@@ -76,6 +76,10 @@ class TestCorpus:
             assert iteration.plan.stats.duplicates >= expect["min_duplicates"]
         if expect.get("crash_during_split"):
             assert state["crash_during_split"]
+        if "min_serves" in expect:
+            assert iteration.result.actions.get("serve", 0) >= expect["min_serves"]
+        if "min_serve_coalesced" in expect:
+            assert iteration.served_coalesced >= expect["min_serve_coalesced"]
 
     def _replay_crash_chunk(self, entry):
         cfg = entry["config"]
@@ -113,6 +117,7 @@ class TestCorpus:
             duplicate_rate=0.04,
             overlay="chord",
             write_quorum="majority",
+            serve_weight=2,
         )
         command = repro_command(4321, cfg)
         # the printed line must pin *every* knob that shapes the scenario,
@@ -129,6 +134,7 @@ class TestCorpus:
             "--duplicate-rate 0.04",
             "--overlay chord",
             "--write-quorum majority",
+            "--serve-weight 2",
         ):
             assert flag in command, flag
 

@@ -257,3 +257,68 @@ class TestFundexDepth:
         # naive only finds the extensional one
         naive, _ = net.fundex.query(pattern, net.peers[0], mode="naive")
         assert {a.doc_id for a in naive} == {(0, 0)}
+
+
+class TestDppRouting:
+    """Pinning tests: Fundex index lookups ride the DPP fetch machinery.
+
+    With ``use_dpp`` on, the Term relation lives in DPP blocks — a raw
+    ``net.get`` on a term key returns the empty plain key.  Fundex's
+    candidate-document phase (components *and* the root-term lookup for
+    intensional candidates) must therefore route through the executor's
+    ``dpp_fetch_mode`` machinery, or every Fundex answer silently vanishes
+    under DPP.  Pinned against the no-DPP reference, which TestQueryModes
+    proves equal to inlining.
+    """
+
+    @staticmethod
+    def _build(**overrides):
+        net = KadopNetwork.create(
+            num_peers=8,
+            config=KadopConfig(replication=1, **overrides),
+            seed=2,
+        )
+        gen = InexGenerator(seed=5, match_count=3, collection_size=24)
+        gen.register_abstracts(net, 24)
+        for i in range(24):
+            net.peers[i % 4].publish(gen.document(i), uri="inex:%d" % i)
+        return net, gen
+
+    @pytest.mark.parametrize("fetch_mode", ["eager", "window", "lazy"])
+    def test_dpp_answers_match_plain(self, fetch_mode):
+        ref_net, gen = self._build(use_dpp=False)
+        query = gen.query()
+        reference = {
+            a.doc_id
+            for a in ref_net.fundex.query(
+                ref_net.parse(query), ref_net.peers[0], mode="fundex"
+            )[0]
+        }
+        assert reference  # the pin is meaningless on an empty answer set
+        net, _ = self._build(use_dpp=True, dpp_fetch_mode=fetch_mode)
+        for mode in ("fundex", "representative"):
+            answers, report = net.fundex.query(
+                net.parse(query), net.peers[0], mode=mode
+            )
+            assert {a.doc_id for a in answers} == reference, (fetch_mode, mode)
+            assert report.candidate_docs > 0
+
+    def test_no_stale_dpp_state_leaks_to_next_query(self):
+        net, gen = self._build(use_dpp=True, dpp_fetch_mode="lazy")
+        query = gen.query()
+        net.fundex.query(net.parse(query), net.peers[0], mode="fundex")
+        executor = net.executor
+        assert getattr(executor, "_last_dpp_blocks", None) is None
+        assert getattr(executor, "_last_dpp_solutions", None) is None
+        # and a plain executor query right after is unperturbed
+        alone = KadopNetwork.create(
+            num_peers=8,
+            config=KadopConfig(replication=1, use_dpp=True, dpp_fetch_mode="lazy"),
+            seed=2,
+        )
+        gen2 = InexGenerator(seed=5, match_count=3, collection_size=24)
+        gen2.register_abstracts(alone, 24)
+        for i in range(24):
+            alone.peers[i % 4].publish(gen2.document(i), uri="inex:%d" % i)
+        expected = [a.doc_id for a in alone.query(query)]
+        assert [a.doc_id for a in net.query(query)] == expected

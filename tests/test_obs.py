@@ -141,6 +141,35 @@ class TestTracer:
         with pytest.raises(KeyError):
             t.set_duration(999, 1.0)
 
+    def test_seek_places_next_query(self):
+        t = Tracer()
+        t.seek(3.0)
+        ctx = t.begin_query("q")
+        assert ctx.base == pytest.approx(3.0)
+        t.end_query(ctx, 0.5)
+        with pytest.raises(ValueError):
+            t.seek(-1.0)
+
+    def test_interleaved_query_roots_keep_their_own_extents(self):
+        # serving admits queries at their arrival instants: a later query
+        # root may open *inside* an earlier one's window, and each keeps
+        # its own base — the overlap never shifts either root
+        t = Tracer()
+        t.seek(1.0)
+        long_ctx = t.begin_query("long")
+        t.end_query(long_ctx, 5.0)  # window [1, 6]
+        t.seek(2.0)  # admitted mid-window
+        short_ctx = t.begin_query("short")
+        assert short_ctx.base == pytest.approx(2.0)
+        t.end_query(short_ctx, 0.5)
+        long_root, short_root = t.spans_by_cat("query")
+        assert (long_root.start_s, long_root.end_s) == (1.0, 6.0)
+        assert (short_root.start_s, short_root.end_s) == (2.0, 2.5)
+        # the cursor never rewinds past a closed query's extent
+        follow = t.begin_query("follow-up")
+        assert follow.base == pytest.approx(2.5)
+        t.end_query(follow, 0.1)
+
 
 class TestChromeExport:
     def _tracer(self):
