@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace fuzz-smoke bench-micro bench bench-views bench-blocks bench-serve
+.PHONY: test test-all lint trace fuzz-smoke bench-micro bench bench-views bench-blocks bench-serve bench-skew
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -55,3 +55,9 @@ bench-blocks:
 # regression baseline for coalesced byte savings and admitted tail latency
 bench-serve:
 	$(PY) -m repro.experiments.serving --out BENCH_serve.json
+
+# skewed-serving load-balance ablation (redistribution on/off across
+# Zipf exponents); refreshes the committed BENCH_skew.json, which
+# doubles as the CI regression baseline for the balanced p99 margin
+bench-skew:
+	$(PY) -m repro.experiments.skew_balance --out BENCH_skew.json

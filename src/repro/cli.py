@@ -41,6 +41,7 @@ def _registry():
         pipeline_ablation,
         posting_skew,
         serving,
+        skew_balance,
         store_ablation,
         table1_dyadic,
         traffic,
@@ -66,11 +67,17 @@ def _registry():
             traffic.check_shape,
             "Section 4.3: traffic of the 50-query workload",
         ),
-        "skew": (
+        "postskew": (
             lambda: posting_skew.run(sample_bytes=400_000),
             posting_skew.format_rows,
             posting_skew.check_shape,
             "Section 4.3: posting-list skew",
+        ),
+        "skew": (
+            skew_balance.run,
+            skew_balance.format_rows,
+            skew_balance.check_shape,
+            "Load balancing: skewed-serving ablation (redistribution on/off)",
         ),
         "table1": (
             lambda: table1_dyadic.run(scale=0.02),
@@ -367,6 +374,8 @@ def cmd_fuzz(args):
         overlay=args.overlay,
         write_quorum=args.write_quorum,
         serve_weight=args.serve_weight,
+        hot_read_weight=args.hot_read_weight,
+        rebalance_weight=args.rebalance_weight,
     )
     progress = None
     if not getattr(args, "json", False):
@@ -513,6 +522,16 @@ def main(argv=None):
         "--serve-weight", type=int, default=1,
         help="weight of the concurrent-serving burst step (0 disables it"
         " and reproduces pre-serving campaigns exactly)",
+    )
+    fuzz_parser.add_argument(
+        "--hot-read-weight", type=int, default=1,
+        help="weight of the hot-read burst step (0 disables balancing"
+        " steps and reproduces pre-balance campaigns exactly)",
+    )
+    fuzz_parser.add_argument(
+        "--rebalance-weight", type=int, default=1,
+        help="weight of the balance-tick step (decay + demotion + one"
+        " rebalancer migration pass; 0 disables)",
     )
     fuzz_parser.add_argument(
         "--json", action="store_true", help="machine-readable JSON summary"

@@ -148,6 +148,17 @@ class DhtNetwork:
         # ``pipelined_get`` then join an in-flight fetch of the same key
         # instead of paying for a second transfer.  None = every fetch real.
         self.coalescer = None
+        # load balancing (repro.balance): a LoadBalancer consulted by the
+        # read path for holder selection and fed by every op for the load
+        # ledger (KadopNetwork installs it); None = legacy owner-only reads
+        self.balancer = None
+        # rebalancer placement overrides: routing alias -> node that now
+        # owns the alias group (see set_placement); empty = pure hashing
+        self.placement = {}
+        # the node that actually served the most recent get/pipelined_get/
+        # block_get (None when a coalesced flight answered): lets the query
+        # executor charge the transfer to the real egress link
+        self.last_holder = None
         self.retry = RetryPolicy()
         self.write_quorum = "all"  # or "majority": acks needed per write
         self._write_stamp = 0  # source of next_stamp()
@@ -425,11 +436,40 @@ class DhtNetwork:
 
     # -- ownership -----------------------------------------------------------------
 
+    def _placed(self, key):
+        """The placement-override owner for ``key``'s alias, if alive.
+
+        While the placed node is down, ownership silently reverts to pure
+        hashing (the hash owner still holds its backup copy); a restart
+        rebuilds routing, which re-activates the placement."""
+        if not self.placement:
+            return None
+        node = self.placement.get(routing_alias(key))
+        if node is not None and node.alive:
+            return node
+        return None
+
+    def set_placement(self, alias, node):
+        """Re-home ``alias``'s group onto ``node`` (the rebalancer's move).
+
+        Only redirects ownership — the caller must have landed the data on
+        ``node`` first (:meth:`_sync_copy`), or reads would route to a
+        copy-less owner."""
+        self.placement[alias] = node
+        self._owner_cache = {}
+        self._replica_cache = {}
+
     def owner_of(self, key):
         """The node in charge of ``key``: numerically closest id."""
         cached = getattr(self, "_owner_cache", {}).get(key)
         if cached is not None and cached.alive:
             return cached
+        placed = self._placed(key)
+        if placed is not None:
+            if not hasattr(self, "_owner_cache"):
+                self._owner_cache = {}
+            self._owner_cache[key] = placed
+            return placed
         kid = key_id(routing_alias(key))
         alive = self.alive_nodes()
         if not alive:
@@ -474,6 +514,12 @@ class DhtNetwork:
                 key=lambda n: (n.node_id.distance(kid), int(n.node_id)),
             )
             replicas = ranked[: self.replication]
+        placed = self._placed(key)
+        if placed is not None and (not replicas or replicas[0] is not placed):
+            # the placed node leads; the hash owner stays on as a backup
+            replicas = ([placed] + [n for n in replicas if n is not placed])[
+                : self.replication
+            ]
         cache[key] = list(replicas)
         return replicas
 
@@ -545,6 +591,21 @@ class DhtNetwork:
         while True:
             nxt_id = current.routing.next_hop(kid)
             if nxt_id is None:
+                placed = self._placed(key)
+                if placed is not None and placed is not current:
+                    # the hash-closest node forwards to the re-placed
+                    # owner it knows about (one extra hop, like the
+                    # stale-entry fallback below)
+                    if path is not None:
+                        path.append(
+                            (
+                                current.peer_index,
+                                placed.peer_index,
+                                current.node_id.shared_prefix_len(kid),
+                            )
+                        )
+                    self._last_path = path
+                    return placed, hops + 1
                 self._last_path = path
                 return current, hops
             nxt = self._by_id.get(int(nxt_id))
@@ -819,10 +880,16 @@ class DhtNetwork:
         receipt.duration_s += owner.store.stats.delta_since(before).cost_seconds(
             self.cost
         )
+        if self.balancer is not None:
+            self.balancer.on_write(key, owner, payload)
         if replicate:
             receipt.merge(
                 self._replicate(owner, key, postings, fault_idx=idx, stamp=stamp)
             )
+        if self.balancer is not None:
+            # keep any hot extra copies byte-fresh (same stamp, so they
+            # stay eligible for fan-out reads)
+            self.balancer.propagate_write(op, key, postings, stamp)
         self._observe_op(op, src, key, receipt, payload=payload)
         return receipt
 
@@ -856,6 +923,8 @@ class DhtNetwork:
                 self.meter.record("postings", payload)
                 receipt.request_bytes += payload
                 receipt.duration_s += self.cost.transfer_time(payload, hops=1)
+                if self.balancer is not None:
+                    self.balancer.on_write(key, node, payload)
                 acked += 1
                 continue
             delivered = False
@@ -883,6 +952,8 @@ class DhtNetwork:
                 delivered = True
                 break
             if delivered:
+                if self.balancer is not None:
+                    self.balancer.on_write(key, node, payload)
                 acked += 1
         if plan is not None and acked < self._quorum_needed(len(replicas)):
             self._timeout(
@@ -897,6 +968,7 @@ class DhtNetwork:
             if flight is not None:
                 # join the in-flight fetch: same data, one fanned-out
                 # receipt, zero additional metered bytes or fault ops
+                self.last_holder = None
                 return flight.data, OpReceipt(duration_s=flight.receipt_s)
         plan = self.faults
         idx = plan.begin_op(self, "get", key) if plan is not None else None
@@ -904,7 +976,9 @@ class DhtNetwork:
             src, key, _observe=False, _fault_idx=idx
         )
         holder = owner
-        if plan is not None and key not in owner.store:
+        if self.balancer is not None:
+            holder = self.balancer.read_holder(key, owner) or owner
+        if plan is not None and key not in holder.store:
             holder = self._read_holder(key, owner, locate_receipt) or owner
         extra = OpReceipt()
         attempt = 0
@@ -948,13 +1022,16 @@ class DhtNetwork:
                     OpReceipt(response_bytes=payload), count_bytes=False
                 )
         self._observe_op("get", src, key, receipt, payload=payload)
+        self.last_holder = holder
+        if self.balancer is not None:
+            self.balancer.on_read(key, holder, payload)
         if self.coalescer is not None:
             self.coalescer.register(
                 "get", key, plist, payload, receipt.duration_s
             )
         return plist, receipt
 
-    def block_get(self, src, key, postings):
+    def block_get(self, src, key, postings, holder=None):
         """Receipt for a direct block transfer from a known holder.
 
         DPP block fetches skip the locate — the root block already names
@@ -962,7 +1039,10 @@ class DhtNetwork:
         disk read plus a single-hop transfer of the (possibly
         range-restricted) block payload.  Centralizing this here keeps the
         block-fetch accounting consistent with ``get``'s and gives block
-        transfers their own op span in traces.
+        transfers their own op span in traces.  ``holder`` (when the
+        caller knows it) attributes the read to the serving peer in the
+        load ledger; blocks are never *promoted* here — the DPP has its
+        own popularity replication (``dpp_replicate_after``).
         """
         plan = self.faults
         idx = plan.begin_op(self, "block_get", key) if plan is not None else None
@@ -1002,6 +1082,10 @@ class DhtNetwork:
                     OpReceipt(response_bytes=payload), count_bytes=False
                 )
         self._observe_op("block_get", src, key, receipt, payload=payload)
+        served_by = holder if holder is not None else self.owner_of(key)
+        self.last_holder = served_by
+        if self.balancer is not None:
+            self.balancer.on_read(key, served_by, payload, promote=False)
         return receipt
 
     def pipelined_get(self, src, key, chunk_postings=1024):
@@ -1016,6 +1100,7 @@ class DhtNetwork:
         if self.coalescer is not None:
             flight = self.coalescer.lookup("pget", key)
             if flight is not None:
+                self.last_holder = None
                 return flight.data, OpReceipt(duration_s=flight.receipt_s)
         plan = self.faults
         idx = (
@@ -1030,6 +1115,8 @@ class DhtNetwork:
         attempt = 0
         while True:
             holder = owner
+            if self.balancer is not None:
+                holder = self.balancer.read_holder(key, owner) or owner
             if plan is not None and (
                 not holder.alive or key not in holder.store
             ):
@@ -1103,6 +1190,9 @@ class DhtNetwork:
                 self.meter.record("postings", total)
                 receipt.merge(OpReceipt(response_bytes=total), count_bytes=False)
         self._observe_op("pipelined_get", src, key, receipt, payload=total)
+        self.last_holder = holder
+        if self.balancer is not None:
+            self.balancer.on_read(key, holder, total)
         if self.coalescer is not None:
             self.coalescer.register(
                 "pget", key, chunks, total, receipt.duration_s
@@ -1118,6 +1208,8 @@ class DhtNetwork:
             if node is not owner:
                 node.store.delete(key, posting)
                 node.versions[key] = stamp
+        if self.balancer is not None:
+            self.balancer.propagate_delete(key, posting, stamp)
         return removed, receipt
 
     # -- small-object storage (DPP roots, catalog rows) --------------------------
@@ -1199,6 +1291,9 @@ class DhtNetwork:
             + self.cost.transfer_time(nbytes, hops=1),
         )
         self._observe_op("get_object", src, key, receipt, payload=nbytes)
+        if self.balancer is not None:
+            # tiny control objects: metered for utilization, never promoted
+            self.balancer.on_read(key, holder, nbytes, promote=False)
         return obj, receipt
 
 

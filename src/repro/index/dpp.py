@@ -638,7 +638,7 @@ class DppIndex:
                 postings = holder.store.get(store_key).range(lo, hi)
         else:
             postings = holder.store.get(store_key)
-        receipt = self.net.block_get(src, store_key, postings)
+        receipt = self.net.block_get(src, store_key, postings, holder=holder)
         if coalescer is not None:
             coalescer.register(
                 "dppblk",

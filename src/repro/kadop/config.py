@@ -102,6 +102,32 @@ class KadopConfig:
                             demanding the same term key / DPP block / view
                             block share one in-flight fetch
 
+    Load balancing (:mod:`repro.balance` — the adaptive-redistribution
+    layer; all defaults leave the balancer purely observational, so
+    answers and receipts are byte-identical to the pre-balance path):
+
+    ``read_policy``            how gets pick their serving replica:
+                               ``"owner"`` (always the routed owner, the
+                               original behaviour), ``"round_robin"``
+                               (rotate over provably-fresh copies), or
+                               ``"least_loaded"`` (coldest fresh copy by
+                               the ledger's decayed byte rate)
+    ``hot_key_threshold``      decayed read-byte rate above which a key
+                               gets extra copies on cold peers beyond
+                               ``replication``; None disables promotion
+    ``hot_key_copies``         extra copies per hot key
+    ``hot_key_decay``          per-tick multiplier of the ledger's rates
+                               (rates halve per quiet tick at the 0.5
+                               default; promotion exits at half the entry
+                               threshold)
+    ``rebalance_interval_s``   simulated seconds between balance ticks of
+                               the serving engine (decay + demotion + one
+                               rebalancer pass); None disables the clock
+    ``rebalance_overload``     a peer is overloaded when its decayed load
+                               exceeds this multiple of the mean
+    ``rebalance_max_keys``     alias groups migrated off one overloaded
+                               peer per pass
+
     Fault tolerance (:mod:`repro.faults` — only observable when a
     FaultPlan is installed; all-zero-fault runs are byte-identical to the
     pre-fault code path):
@@ -154,6 +180,14 @@ class KadopConfig:
     admission_policy: str = "fifo"
     coalesce_fetches: bool = True
 
+    read_policy: str = "owner"
+    hot_key_threshold: int = None
+    hot_key_copies: int = 1
+    hot_key_decay: float = 0.5
+    rebalance_interval_s: float = None
+    rebalance_overload: float = 2.0
+    rebalance_max_keys: int = 2
+
     op_timeout_s: float = 0.25
     op_max_retries: int = 6
     retry_backoff_s: float = 0.05
@@ -203,6 +237,26 @@ class KadopConfig:
                 "admission_policy must be 'fifo' or 'fair', got %r"
                 % (self.admission_policy,)
             )
+        if self.read_policy not in ("owner", "round_robin", "least_loaded"):
+            raise ConfigError(
+                "read_policy must be 'owner', 'round_robin', or "
+                "'least_loaded', got %r" % (self.read_policy,)
+            )
+        if self.hot_key_threshold is not None and self.hot_key_threshold < 1:
+            raise ConfigError("hot_key_threshold must be >= 1 or None")
+        if self.hot_key_copies < 1:
+            raise ConfigError("hot_key_copies must be >= 1")
+        if not 0.0 <= self.hot_key_decay < 1.0:
+            raise ConfigError("hot_key_decay must be in [0, 1)")
+        if (
+            self.rebalance_interval_s is not None
+            and self.rebalance_interval_s <= 0
+        ):
+            raise ConfigError("rebalance_interval_s must be > 0 or None")
+        if self.rebalance_overload <= 1.0:
+            raise ConfigError("rebalance_overload must be > 1")
+        if self.rebalance_max_keys < 1:
+            raise ConfigError("rebalance_max_keys must be >= 1")
         if self.op_max_retries < 0:
             raise ConfigError("op_max_retries must be >= 0")
         if (

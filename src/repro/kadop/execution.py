@@ -503,6 +503,7 @@ class QueryExecutor:
         config = system.config
         streams = {}
         term_lists = {}
+        holders = {}  # key -> node that actually served the fetch
         locate_time = 0.0
         for node in component.nodes():
             key = term_key_of(node)
@@ -519,6 +520,7 @@ class QueryExecutor:
                     else:
                         plist, receipt = net.get(src_peer.node, key)
                         term_lists[key] = (plist, receipt)
+                    holders[key] = net.last_holder
                 except OpTimeoutError as exc:
                     # unreachable term: degrade to an empty stream (the
                     # join then under-approximates; the report's
@@ -557,8 +559,13 @@ class QueryExecutor:
                         resources=(egress, ingress),
                     )
             else:
-                owner = net.owner_of(key)
-                egress = "egress:%d" % owner.peer_index
+                # charge the transfer to the node that actually served the
+                # fetch (a fanned-out replica or hot extra copy under the
+                # balancer; the owner otherwise), so queue-wait spans point
+                # at the congested link — coalesced fetches moved no bytes
+                # and keep the owner's link as their nominal egress
+                holder = holders.get(key) or net.owner_of(key)
+                egress = "egress:%d" % holder.peer_index
                 if not scheduler.has_resource(egress):
                     scheduler.add_resource(egress, 1)
                 scheduler.add_task(

@@ -342,6 +342,12 @@ class ServingEngine:
                             queued.append((i, ordered[i]))
                             i += 1
                 seq, arrival = self._pick(queued, admitted_per_src)
+                balance = getattr(system, "balance", None)
+                if balance is not None:
+                    # advance the rebalance clock to the admission instant:
+                    # rate decay, hot-copy demotion, and migration passes
+                    # all happen on the same simulated timeline as serving
+                    balance.maybe_tick(clock)
                 self._process(seq, arrival, clock)
                 admitted_per_src[arrival.src] = (
                     admitted_per_src.get(arrival.src, 0) + 1

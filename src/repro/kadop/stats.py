@@ -36,6 +36,10 @@ class NetworkStats:
     view_hits: int = 0
     view_misses: int = 0
     view_bytes: int = 0  # total view-block storage
+    # load-ledger views (repro.balance): empty when nothing was metered
+    hot_keys: list = field(default_factory=list)  # (read_bytes, key)
+    hot_peers: list = field(default_factory=list)  # (read_bytes, peer)
+    balance: dict = field(default_factory=dict)  # LoadBalancer.summary()
 
     @property
     def gini(self):
@@ -72,6 +76,30 @@ class NetworkStats:
         ]
         for count, term in self.hottest_terms:
             lines.append("  %8d  %s" % (count, term))
+        if self.hot_keys or self.hot_peers:
+            lines.append("hottest peers by served read bytes:")
+            for nbytes, peer in self.hot_peers:
+                lines.append("  %10d  peer %d" % (nbytes, peer))
+            lines.append("hottest keys by served read bytes:")
+            for nbytes, key in self.hot_keys:
+                lines.append("  %10d  %s" % (nbytes, key))
+        if self.balance:
+            lines.append(
+                "balancing: policy=%s  fanout reads: %d  hot keys: %d "
+                "(+%d copies)  promotions/demotions: %d/%d  migrations: %d "
+                "(%d keys, %d bytes)"
+                % (
+                    self.balance.get("read_policy"),
+                    self.balance.get("fanout_reads", 0),
+                    self.balance.get("hot_keys", 0),
+                    self.balance.get("extra_copies", 0),
+                    self.balance.get("promotions", 0),
+                    self.balance.get("demotions", 0),
+                    self.balance.get("migrations", 0),
+                    self.balance.get("keys_moved", 0),
+                    self.balance.get("bytes_moved", 0),
+                )
+            )
         if self.views or self.view_hits or self.view_misses:
             served = self.view_hits + self.view_misses
             rate = self.view_hits / served if served else 0.0
@@ -95,6 +123,13 @@ class NetworkStats:
         data["hottest_terms"] = [
             {"count": count, "term": term} for count, term in self.hottest_terms
         ]
+        data["hot_keys"] = [
+            {"read_bytes": nbytes, "key": key} for nbytes, key in self.hot_keys
+        ]
+        data["hot_peers"] = [
+            {"read_bytes": nbytes, "peer": peer}
+            for nbytes, peer in self.hot_peers
+        ]
         data["gini"] = self.gini
         data["max_over_mean"] = self.max_over_mean
         return data
@@ -113,6 +148,21 @@ class NetworkStats:
         registry.gauge("views_hits").set(self.view_hits)
         registry.gauge("views_misses").set(self.view_misses)
         registry.gauge("views_bytes").set(self.view_bytes)
+        if self.balance:
+            registry.gauge("balance_fanout_reads").set(
+                self.balance.get("fanout_reads", 0)
+            )
+            registry.gauge("balance_hot_keys").set(
+                self.balance.get("hot_keys", 0)
+            )
+            registry.gauge("balance_extra_copies").set(
+                self.balance.get("extra_copies", 0)
+            )
+            registry.gauge("balance_migrations").set(
+                self.balance.get("migrations", 0)
+            )
+        for nbytes, peer in self.hot_peers:
+            registry.gauge("peer_read_bytes", peer=peer).set(nbytes)
         for load in self.peers:
             registry.gauge("peer_postings", peer=load.peer_index).set(
                 load.postings
@@ -192,6 +242,13 @@ def network_stats(system, top_terms=8):
     stats.hottest_terms = sorted(
         ((count, term) for term, count in term_counts.items()), reverse=True
     )[:top_terms]
+    balance = getattr(system, "balance", None)
+    if balance is not None:
+        ledger = balance.ledger
+        if ledger.total_reads or ledger.total_writes:
+            stats.hot_keys = ledger.hottest_keys(top_terms)
+            stats.hot_peers = ledger.hottest_peers(top_terms)
+            stats.balance = balance.summary()
     views = getattr(system, "views", None)
     if views is not None:
         stats.view_hits = views.hits

@@ -47,6 +47,19 @@ class KadopNetwork:
             backoff_cap_s=self.config.retry_backoff_cap_s,
         )
         self.net.write_quorum = self.config.write_quorum
+        from repro.balance import LoadBalancer
+
+        self.balance = LoadBalancer(
+            self.net,
+            read_policy=self.config.read_policy,
+            hot_key_threshold=self.config.hot_key_threshold,
+            hot_key_copies=self.config.hot_key_copies,
+            decay=self.config.hot_key_decay,
+            rebalance_interval_s=self.config.rebalance_interval_s,
+            rebalance_overload=self.config.rebalance_overload,
+            rebalance_max_keys=self.config.rebalance_max_keys,
+        )
+        self.net.balancer = self.balance
         self._store_factory = store_factory
         self.catalog = Catalog(self.net)
         self.dpp = (

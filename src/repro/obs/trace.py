@@ -220,10 +220,14 @@ def observe_schedule(tracer, metrics, scheduler, rel_base=0.0, parent=None):
             start_abs = ctx.base + rel_base + task.start
             attach = parent if parent is not None else ctx.parent_id
             if wait > 0:
+                # the wait span lives on the track of the resource that
+                # actually had no free slot (the overloaded link/CPU), not
+                # the task's nominal egress track — so hot-peer congestion
+                # is visible as a pile-up on that peer's own track
                 tracer.add(
                     "wait:%s" % task.name,
                     "wait",
-                    track,
+                    task.blocked_on if task.blocked_on else track,
                     start_abs - wait,
                     wait,
                     args={"blocked_on": task.blocked_on},

@@ -67,6 +67,14 @@ class FuzzConfig:
     #: campaigns byte-for-byte: a zero-weight tail entry never wins a
     #: ``rng.choices`` draw and consumes no extra randomness)
     serve_weight: int = 1
+    #: weights of the load-balancing steps (repro.balance): ``hot_read``
+    #: hammers one acked key and checks the staleness guarantee,
+    #: ``rebalance`` runs a balance tick (decay + demotion + migration)
+    #: and checks ledger conservation plus migration durability.  Both at
+    #: 0 also pins the balance config knobs (no extra rng draws), which
+    #: reproduces pre-balance campaigns byte-for-byte
+    hot_read_weight: int = 1
+    rebalance_weight: int = 1
 
 
 class FuzzFailure(AssertionError):
@@ -110,7 +118,8 @@ def repro_command(seed, cfg):
         "PYTHONPATH=src python -m repro fuzz --seed %d --iterations 1"
         " --steps %d --peers %d --replication %d --crash-rate %g"
         " --drop-rate %g --delay-rate %g --duplicate-rate %g --overlay %s"
-        " --write-quorum %s --serve-weight %d"
+        " --write-quorum %s --serve-weight %d --hot-read-weight %d"
+        " --rebalance-weight %d"
         % (
             seed,
             cfg.steps,
@@ -123,6 +132,8 @@ def repro_command(seed, cfg):
             cfg.overlay,
             cfg.write_quorum,
             cfg.serve_weight,
+            cfg.hot_read_weight,
+            cfg.rebalance_weight,
         )
     )
 
@@ -204,6 +215,20 @@ class _Iteration:
         self.result = result
         self.rng = random.Random(seed)
         self.use_dpp = self.rng.random() < 0.5
+        self.use_balance = cfg.hot_read_weight > 0 or cfg.rebalance_weight > 0
+        balance_knobs = {}
+        if self.use_balance:
+            # gated draws: with both balance weights at 0 the rng stream
+            # is untouched, so pre-balance corpus seeds replay exactly
+            balance_knobs = dict(
+                read_policy=self.rng.choice(
+                    ("owner", "round_robin", "least_loaded")
+                ),
+                # tiny threshold: a couple of reads of any real posting
+                # list promote it, so extra copies exist at fuzz scale
+                hot_key_threshold=64,
+                hot_key_copies=1,
+            )
         config = KadopConfig(
             replication=cfg.replication,
             overlay=cfg.overlay,
@@ -214,6 +239,7 @@ class _Iteration:
             # tiny chunks: multi-chunk streams happen at fuzz scale, so
             # crash-mid-pipelined_get is actually reachable
             chunk_postings=self.rng.choice((2, 4, 2048)),
+            **balance_knobs,
         )
         self.system = KadopNetwork.create(
             num_peers=cfg.num_peers, config=config, seed=seed
@@ -425,6 +451,100 @@ class _Iteration:
                     )
             self.result.queries_checked += 1
 
+    def act_hot_read(self):
+        """Hammer one acked key with direct gets under the read policy.
+
+        Checks the staleness guarantee of the read fan-out: a fanned-out
+        read must return exactly as many postings as the *routed* owner
+        holds — a replica that missed a quorum write (shorter list, even
+        at the owner's stamp) must never be chosen over it.  The baseline
+        is the owner ``locate`` actually routed to, captured from the
+        balancer's own pick call: under churn the overlay can route to a
+        node ``owner_of`` disagrees with, and the legacy owner-only read
+        would serve *that* node's copy — fan-out must never do worse.
+        The repeated reads also heat the key toward hot-copy promotion."""
+        net = self.system.net
+        balance = self.system.balance
+        candidates = sorted(
+            key
+            for key in self.acked
+            if any(key in n.store for n in net.alive_nodes())
+        )
+        if not candidates:
+            return
+        key = self.rng.choice(candidates)
+        src = self.rng.choice(self._alive_peers())
+        routed = {}
+        inner = balance.read_holder
+
+        def capture(k, owner):
+            routed[k] = owner
+            return inner(k, owner)
+
+        crash_rate = self.plan.crash_rate
+        self.plan.crash_rate = 0.0
+        balance.read_holder = capture
+        try:
+            for _ in range(3):
+                try:
+                    plist, _ = net.get(src.node, key)
+                except OpTimeoutError:
+                    continue
+                owner = routed.get(key)
+                if (
+                    owner is not None
+                    and key in owner.store
+                    and len(plist) != owner.store.count(key)
+                ):
+                    self.fail(
+                        "stale-read",
+                        "%r: fanned-out get returned %d posting(s), the"
+                        " routed owner holds %d"
+                        % (key, len(plist), owner.store.count(key)),
+                    )
+        finally:
+            self.plan.crash_rate = crash_rate
+            balance.read_holder = inner
+
+    def _best_copies(self):
+        """Per acked key, the best alive ``(version, count)`` store copy."""
+        best = {}
+        for node in self.system.net.alive_nodes():
+            for key in self.acked:
+                if key not in node.store:
+                    continue
+                score = (node.versions.get(key, 0), node.store.count(key))
+                if key not in best or score > best[key]:
+                    best[key] = score
+        return best
+
+    def act_rebalance(self):
+        """One balance tick, bracketed by the two balance invariants.
+
+        *Ledger conservation*: the per-key and per-peer breakdowns each
+        sum to the ledger's grand meter totals — any drift means a read
+        or write was counted on one axis but not the other.  *Migration
+        durability*: the best surviving ``(version, count)`` copy of
+        every acked key must not regress across the tick — demotion and
+        migration may drop or replace copies, but never the freshest."""
+        balance = self.system.balance
+        if not balance.ledger.check_conservation():
+            self.fail(
+                "ledger-conservation",
+                "per-key/per-peer ledger breakdowns disagree with the"
+                " grand totals",
+            )
+        before = self._best_copies()
+        balance.tick()
+        after = self._best_copies()
+        for key, score in before.items():
+            if after.get(key, (0, 0)) < score:
+                self.fail(
+                    "migration-lost-postings",
+                    "%r: best copy regressed %r -> %r across a balance"
+                    " tick" % (key, score, after.get(key)),
+                )
+
     def check_durability(self):
         alive = self.system.net.alive_nodes()
         for key in self.acked:
@@ -449,6 +569,10 @@ class _Iteration:
             # table gains only a duplicate tail entry, so rng.choices
             # picks the exact same actions as a pre-serving campaign
             ("serve", self.act_serve, self.cfg.serve_weight),
+            # same tail-entry trick as serve: at weight 0 these never win
+            # a draw and consume no randomness, replaying old campaigns
+            ("hot_read", self.act_hot_read, self.cfg.hot_read_weight),
+            ("rebalance", self.act_rebalance, self.cfg.rebalance_weight),
         )
         names = [a[0] for a in actions]
         weights = [a[2] for a in actions]

@@ -150,6 +150,22 @@ REPEATED_QUERY_PROFILES = {
     ),
 }
 
+def skewed_profile(skew, num_queries=48, distinct_patterns=8):
+    """An ad-hoc traffic profile at Zipf exponent ``skew``.
+
+    The sweep axis of ``experiments.skew_balance``: the same pool and
+    stream length at every point, only the popularity skew varies (0 =
+    uniform draw, >= 1.0 concentrates most traffic on the head pattern —
+    and therefore on the peers owning its terms)."""
+    return QueryTrafficProfile(
+        name="skew-%g" % skew,
+        num_queries=num_queries,
+        distinct_patterns=distinct_patterns,
+        zipf_skew=skew,
+        warmup_fraction=0.0,
+    )
+
+
 #: structural templates over the DBLP-like corpus (heavy posting lists)
 _QUERY_TEMPLATES = (
     "//article//author",

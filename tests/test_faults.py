@@ -80,6 +80,13 @@ class TestCorpus:
             assert iteration.result.actions.get("serve", 0) >= expect["min_serves"]
         if "min_serve_coalesced" in expect:
             assert iteration.served_coalesced >= expect["min_serve_coalesced"]
+        balance = iteration.system.balance.summary()
+        if "min_promotions" in expect:
+            assert balance["promotions"] >= expect["min_promotions"]
+        if "min_migrations" in expect:
+            assert balance["migrations"] >= expect["min_migrations"]
+        if "min_fanout_reads" in expect:
+            assert balance["fanout_reads"] >= expect["min_fanout_reads"]
 
     def _replay_crash_chunk(self, entry):
         cfg = entry["config"]
