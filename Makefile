@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace fuzz-smoke bench-micro bench bench-views bench-blocks bench-serve bench-skew
+.PHONY: test test-all lint trace fuzz-smoke telemetry-smoke bench-micro bench bench-views bench-blocks bench-serve bench-skew
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -25,6 +25,17 @@ fuzz-smoke:
 	$(PY) -m repro fuzz --seed 5000 --iterations 60 --write-quorum majority
 	$(PY) -m repro fuzz --seed 9000 --iterations 40 --crash-rate 0.15 \
 		--drop-rate 0.1 --delay-rate 0.1 --duplicate-rate 0.1
+
+# serving-clock telemetry smoke: a short skewed serve with the sampler +
+# SLO tracker on, schema-validated JSON export, and one EXPLAIN ANALYZE
+# whose time/byte attribution must reconcile exactly against the meter
+# (repro explain exits non-zero when any reconciliation check fails)
+telemetry-smoke:
+	$(PY) -m repro top --queries 24 --out telemetry.json
+	$(PY) -c "import json; from repro.obs import validate_telemetry; \
+	p = validate_telemetry(json.load(open('telemetry.json'))); \
+	print('telemetry.json: %d series, %d samples OK' % (len(p['series']), p['samples_taken']))"
+	$(PY) -m repro explain "//article//author" > /dev/null && echo "explain: reconciled OK"
 
 # everything, including the slow experiment regenerations
 test-all:

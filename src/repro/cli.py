@@ -10,6 +10,10 @@ Usage::
     python -m repro trace "//article//author" -o q.json
     python -m repro profile views            # top spans + utilization
     python -m repro stats --json             # machine-readable load stats
+    python -m repro top                      # telemetry view of a serve run
+    python -m repro top --html report.html   # self-contained HTML report
+    python -m repro explain "//article//author"   # per-query EXPLAIN ANALYZE
+    python -m repro run serve skew --telemetry    # experiments + diagnostics
     python -m repro fuzz --iterations 200    # fault-injection fuzzing
     python -m repro fuzz --seed 5076 --iterations 1 --write-quorum majority
 
@@ -197,6 +201,7 @@ def cmd_run(args):
         print("nothing to run; use --all or name experiments", file=sys.stderr)
         return 2
     as_json = getattr(args, "json", False)
+    telemetry = getattr(args, "telemetry", False)
     failed = []
     records = []
     for name in names:
@@ -204,7 +209,16 @@ def cmd_run(args):
         if not as_json:
             print("== %s ==" % description)
         started = time.time()
-        result = runner()
+        if telemetry and name in _TELEMETRY_EXPERIMENTS:
+            result = runner(telemetry=True)
+        else:
+            if telemetry and name not in _TELEMETRY_EXPERIMENTS:
+                print(
+                    "note: %s does not support --telemetry; running plain"
+                    % name,
+                    file=sys.stderr,
+                )
+            result = runner()
         shape_ok = None
         shape_error = None
         if checker is not None:
@@ -286,16 +300,81 @@ def cmd_stats(args):
         net.query("//article//author", peer=net.peers[i % 12])
     stats = network_stats(net)
     if getattr(args, "json", False):
-        from repro.obs import MetricsRegistry
+        from repro.obs import MetricsRegistry, STATS_SCHEMA_VERSION
 
         registry = MetricsRegistry()
         stats.to_registry(registry)
-        payload = {"network": stats.to_dict(), "metrics": registry.snapshot()}
+        payload = {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "network": stats.to_dict(),
+            "metrics": registry.snapshot(),
+        }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(stats.format())
     return 0
 
+
+def cmd_top(args):
+    """Serve a skewed open-loop stream with telemetry on; render it."""
+    from repro.experiments import skew_balance
+    from repro.obs import render_top, write_html, write_json
+    from repro.obs.slo import diagnose
+    from repro.workloads.profiles import open_loop_workload, skewed_profile
+
+    net = skew_balance._network(args.peers, args.docs, args.seed, {})
+    profile = skewed_profile(args.skew, num_queries=args.queries)
+    arrivals = open_loop_workload(
+        profile, args.rate, seed=args.seed, num_sources=3
+    )
+    sampler = net.enable_telemetry(
+        interval_s=args.interval, slo_objective_s=args.slo
+    )
+    net.serve(arrivals, policy="fifo", coalesce=False)
+    findings = diagnose(
+        sampler, sampler.slo, ledger=net.balance.ledger
+    )
+    payload = sampler.to_dict()
+    payload["findings"] = [f.to_dict() for f in findings]
+    if args.out:
+        write_json(payload, args.out)
+        print("wrote %s" % args.out, file=sys.stderr)
+    if args.html:
+        write_html(payload, args.html, findings=findings)
+        print("wrote %s" % args.html, file=sys.stderr)
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif not (args.out or args.html):
+        print(render_top(payload, findings=findings))
+    return 0
+
+
+def cmd_explain(args):
+    """EXPLAIN ANALYZE one query against the demo corpus."""
+    from repro.obs.explain import explain_query
+
+    net = _demo_system()
+    if args.warm:
+        # repeats cross the view threshold, so the explained run can show
+        # a view:serve phase instead of a plain index phase
+        for i in range(args.warm):
+            net.query(args.query, peer=net.peers[i % len(net.peers)])
+    _answers, explain = explain_query(
+        net,
+        args.query,
+        keyword_steps=tuple(args.keyword or ()),
+        peer=net.peers[args.peer % len(net.peers)],
+    )
+    if getattr(args, "json", False):
+        print(json.dumps(explain.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(explain.format(max_rows=args.rows))
+    # a report that does not reconcile is a bug worth a red exit code
+    return 0 if explain.reconcile()["ok"] else 1
+
+
+#: experiments whose run() takes a ``telemetry=`` kwarg (repro run --telemetry)
+_TELEMETRY_EXPERIMENTS = ("serve", "skew")
 
 #: experiments that accept an (optionally shared) tracer/metrics pair
 _TRACEABLE_EXPERIMENTS = ("views", "traffic")
@@ -461,6 +540,12 @@ def main(argv=None):
         action="store_true",
         help="machine-readable JSON results instead of formatted rows",
     )
+    run_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach the telemetry sampler + SLO diagnostics to the "
+        "serving experiments (%s)" % ", ".join(_TELEMETRY_EXPERIMENTS),
+    )
     run_parser.set_defaults(func=cmd_run)
     sub.add_parser("demo", help="tiny end-to-end demo").set_defaults(func=cmd_demo)
     stats_parser = sub.add_parser(
@@ -470,6 +555,62 @@ def main(argv=None):
         "--json", action="store_true", help="machine-readable JSON output"
     )
     stats_parser.set_defaults(func=cmd_stats)
+    top_parser = sub.add_parser(
+        "top",
+        help="serving-clock telemetry of a skewed serve run: series, "
+        "SLO burn, diagnostics",
+    )
+    top_parser.add_argument("--peers", type=int, default=10)
+    top_parser.add_argument("--docs", type=int, default=12)
+    top_parser.add_argument("--seed", type=int, default=0)
+    top_parser.add_argument(
+        "--skew", type=float, default=1.4, help="Zipf exponent of the query mix"
+    )
+    top_parser.add_argument(
+        "--rate", type=float, default=24.0, help="arrival rate (queries/s sim)"
+    )
+    top_parser.add_argument("--queries", type=int, default=48)
+    top_parser.add_argument(
+        "--slo", type=float, default=0.8, help="latency objective (simulated s)"
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=0.1, help="sampling interval (sim s)"
+    )
+    top_parser.add_argument(
+        "--json", action="store_true", help="print the telemetry JSON payload"
+    )
+    top_parser.add_argument(
+        "-o", "--out", help="write the telemetry JSON payload to this file"
+    )
+    top_parser.add_argument(
+        "--html", help="write a self-contained HTML report to this file"
+    )
+    top_parser.set_defaults(func=cmd_top)
+    explain_parser = sub.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE one query: simulated time by phase, wire "
+        "bytes by category/peer/key, reconciled against the meter",
+    )
+    explain_parser.add_argument("query", help="XPath query text")
+    explain_parser.add_argument(
+        "--keyword", action="append",
+        help="keyword step for contains-queries (repeatable)",
+    )
+    explain_parser.add_argument(
+        "--peer", type=int, default=0, help="originating peer index"
+    )
+    explain_parser.add_argument(
+        "--warm", type=int, default=0,
+        help="run the query this many times first (crosses the view "
+        "materialization threshold at 2+)",
+    )
+    explain_parser.add_argument(
+        "--rows", type=int, default=8, help="per-category attribution rows"
+    )
+    explain_parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    explain_parser.set_defaults(func=cmd_explain)
     trace_parser = sub.add_parser(
         "trace",
         help="record a Perfetto-compatible trace (demo, a query, or an "

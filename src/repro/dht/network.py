@@ -644,13 +644,15 @@ class DhtNetwork:
             if hops > len(self.nodes) + 4:
                 raise DhtError("routing loop for key %r" % (key,))
 
-    def _observe_op(self, op, src, key, receipt, payload=0):
+    def _observe_op(self, op, src, key, receipt, payload=0, served_by=None):
         """Record one completed DHT operation with the tracer/metrics.
 
         Called after the receipt is final; emits the op span, one child
         span per overlay hop (from the path :meth:`route` captured), and
-        the hop-count / fetch-size histogram samples.  Pure observation —
-        no meter, cost, or store interaction.
+        the hop-count / fetch-size histogram samples.  ``served_by`` is
+        the peer index whose copy answered a read — EXPLAIN ANALYZE
+        attributes the response payload to it.  Pure observation — no
+        meter, cost, or store interaction.
         """
         if self.metrics is None and self.tracer is None:
             return
@@ -679,6 +681,10 @@ class DhtNetwork:
             receipt.duration_s,
             args={
                 "key": key,
+                "op": op,
+                "peer": src.peer_index,
+                "served_by": served_by,
+                "payload": payload,
                 "hops": receipt.hops,
                 "request_bytes": receipt.request_bytes,
                 "response_bytes": receipt.response_bytes,
@@ -1021,7 +1027,10 @@ class DhtNetwork:
                 receipt.merge(
                     OpReceipt(response_bytes=payload), count_bytes=False
                 )
-        self._observe_op("get", src, key, receipt, payload=payload)
+        self._observe_op(
+            "get", src, key, receipt, payload=payload,
+            served_by=holder.peer_index,
+        )
         self.last_holder = holder
         if self.balancer is not None:
             self.balancer.on_read(key, holder, payload)
@@ -1081,8 +1090,11 @@ class DhtNetwork:
                 receipt.merge(
                     OpReceipt(response_bytes=payload), count_bytes=False
                 )
-        self._observe_op("block_get", src, key, receipt, payload=payload)
         served_by = holder if holder is not None else self.owner_of(key)
+        self._observe_op(
+            "block_get", src, key, receipt, payload=payload,
+            served_by=served_by.peer_index,
+        )
         self.last_holder = served_by
         if self.balancer is not None:
             self.balancer.on_read(key, served_by, payload, promote=False)
@@ -1189,7 +1201,10 @@ class DhtNetwork:
                 self._observe_fault("duplicate", key)
                 self.meter.record("postings", total)
                 receipt.merge(OpReceipt(response_bytes=total), count_bytes=False)
-        self._observe_op("pipelined_get", src, key, receipt, payload=total)
+        self._observe_op(
+            "pipelined_get", src, key, receipt, payload=total,
+            served_by=holder.peer_index,
+        )
         self.last_holder = holder
         if self.balancer is not None:
             self.balancer.on_read(key, holder, total)
@@ -1290,7 +1305,10 @@ class DhtNetwork:
             duration_s=locate_receipt.duration_s
             + self.cost.transfer_time(nbytes, hops=1),
         )
-        self._observe_op("get_object", src, key, receipt, payload=nbytes)
+        self._observe_op(
+            "get_object", src, key, receipt, payload=nbytes,
+            served_by=holder.peer_index,
+        )
         if self.balancer is not None:
             # tiny control objects: metered for utilization, never promoted
             self.balancer.on_read(key, holder, nbytes, promote=False)

@@ -48,6 +48,9 @@ VARIANTS = (
 #: sources the stream originates from — few, so ingress/CPU contention bites
 NUM_SOURCES = 3
 
+#: latency objective handed to the SLO tracker under ``--telemetry``
+SLO_OBJECTIVE_S = 0.8
+
 
 def _network(num_peers, docs, seed):
     # slow links (as in experiments.block_pruning) so per-query service
@@ -77,8 +80,13 @@ def _answer_sigs(answers_by_seq):
     }
 
 
-def run(num_peers=10, docs=12, queries=60, seed=0):
-    """``{rate: {variant: row}}`` plus the serial answer reference."""
+def run(num_peers=10, docs=12, queries=60, seed=0, telemetry=False):
+    """``{rate: {variant: row}}`` plus the serial answer reference.
+
+    ``telemetry=True`` attaches the serving-clock sampler + SLO tracker
+    to every variant run and embeds ``slo`` / ``findings`` in its row.
+    Telemetry is strictly observational, so every benchmark number is
+    byte-identical either way (the CI gates read the same keys)."""
     from repro.obs import Tracer
 
     results = {}
@@ -101,6 +109,11 @@ def run(num_peers=10, docs=12, queries=60, seed=0):
         for name, knobs in VARIANTS:
             net = _network(num_peers, docs, seed)
             tracer = net.enable_tracing(Tracer())
+            sampler = (
+                net.enable_telemetry(slo_objective_s=SLO_OBJECTIVE_S)
+                if telemetry
+                else None
+            )
             wall0 = time.perf_counter()
             result = net.serve(
                 arrivals,
@@ -125,9 +138,41 @@ def run(num_peers=10, docs=12, queries=60, seed=0):
                 span_latencies == result.latencies()
             )
             row["answers_match_serial"] = sigs == serial_sigs
+            if sampler is not None:
+                from repro.obs.slo import diagnose
+
+                row["slo"] = sampler.slo.to_dict()
+                row["findings"] = [
+                    f.to_dict()
+                    for f in diagnose(
+                        sampler, sampler.slo, ledger=net.balance.ledger
+                    )
+                ]
             rows[name] = row
         results["%g" % rate] = rows
     return results
+
+
+def _diagnostics_lines(results, axis_keys, variants):
+    """Findings rows for :func:`format_rows`, when --telemetry ran."""
+    lines = []
+    for axis in axis_keys:
+        for name, _ in variants:
+            row = results[axis][name]
+            for f in row.get("findings", ()):
+                lines.append(
+                    "  %s/%s [%s] %s %.2f-%.2fs: %s"
+                    % (
+                        axis,
+                        name,
+                        f["severity"],
+                        f["kind"],
+                        f["t0_s"],
+                        f["t1_s"],
+                        f["detail"],
+                    )
+                )
+    return lines
 
 
 def format_rows(results):
@@ -155,6 +200,13 @@ def format_rows(results):
                     "OK" if row["answers_match_serial"] else "DIFF",
                 )
             )
+    extra = _diagnostics_lines(
+        results, ["%g" % r for r in RATES], VARIANTS
+    )
+    if extra:
+        lines.append("")
+        lines.append("diagnostics (--telemetry):")
+        lines.extend(extra)
     return "\n".join(lines)
 
 

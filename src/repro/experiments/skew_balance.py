@@ -46,6 +46,12 @@ NUM_SOURCES = 3
 #: Zipf >= 1.0 — the fixed margin the CI gate enforces
 P99_MARGIN = 0.95
 
+#: latency objective handed to the SLO tracker under ``--telemetry``;
+#: calibrated between the committed balanced (max p99 0.51s) and
+#: unbalanced (min p99 1.25s at Zipf >= 1.0) baselines, so diagnostics
+#: flag exactly the unbalanced skewed cells
+SLO_OBJECTIVE_S = 0.8
+
 _BALANCE_KNOBS = {
     "read_policy": "least_loaded",
     "hot_key_threshold": 30_000,
@@ -86,8 +92,13 @@ def _sigs(answers):
     return [(a.peer, a.doc, repr(a.bindings)) for a in answers]
 
 
-def run(num_peers=10, docs=12, seed=0):
-    """``{skew: {variant: row}}``; every row carries the answer check."""
+def run(num_peers=10, docs=12, seed=0, telemetry=False):
+    """``{skew: {variant: row}}``; every row carries the answer check.
+
+    ``telemetry=True`` attaches the serving-clock sampler + SLO tracker
+    to every variant run and embeds ``slo`` / ``findings`` in its row —
+    strictly observational, so the benchmark numbers (and the CI gate)
+    are byte-identical either way."""
     results = {}
     for skew in SKEWS:
         arrivals = _arrivals(skew, seed)
@@ -105,6 +116,11 @@ def run(num_peers=10, docs=12, seed=0):
         rows = {}
         for name, knobs in VARIANTS:
             net = _network(num_peers, docs, seed, knobs)
+            sampler = (
+                net.enable_telemetry(slo_objective_s=SLO_OBJECTIVE_S)
+                if telemetry
+                else None
+            )
             wall0 = time.perf_counter()
             result = net.serve(arrivals, policy="fifo", coalesce=False)
             wall_s = time.perf_counter() - wall0
@@ -113,6 +129,16 @@ def run(num_peers=10, docs=12, seed=0):
             row["wall_s"] = wall_s
             row["answers_match_serial"] = sigs == serial_sigs
             row["balance"] = net.balance.summary()
+            if sampler is not None:
+                from repro.obs.slo import diagnose
+
+                row["slo"] = sampler.slo.to_dict()
+                row["findings"] = [
+                    f.to_dict()
+                    for f in diagnose(
+                        sampler, sampler.slo, ledger=net.balance.ledger
+                    )
+                ]
             rows[name] = row
         results["%g" % skew] = rows
     return results
@@ -147,6 +173,15 @@ def format_rows(results):
                     "OK" if row["answers_match_serial"] else "DIFF",
                 )
             )
+    from repro.experiments.serving import _diagnostics_lines
+
+    extra = _diagnostics_lines(
+        results, ["%g" % s for s in SKEWS], VARIANTS
+    )
+    if extra:
+        lines.append("")
+        lines.append("diagnostics (--telemetry):")
+        lines.extend(extra)
     return "\n".join(lines)
 
 

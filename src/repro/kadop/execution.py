@@ -1046,7 +1046,11 @@ class QueryExecutor:
                         "peer:%d" % peer_idx,
                         ctx.now(),
                         timeout_s,
-                        args={"timed_out": True, "docs": len(doc_indexes)},
+                        args={
+                            "timed_out": True,
+                            "peer": peer_idx,
+                            "docs": len(doc_indexes),
+                        },
                         parent=ctx.parent_id,
                     )
                 continue
@@ -1082,9 +1086,13 @@ class QueryExecutor:
                     ctx.now(),
                     peer_time,
                     args={
+                        "peer": peer_idx,
                         "docs": len(doc_indexes),
                         "answers": matched,
                         "bytes": sent_bytes,
+                        # the query-ship round trip metered just above, so
+                        # EXPLAIN can attribute it to this doc peer exactly
+                        "control_bytes": 64 * hops,
                     },
                     parent=ctx.parent_id,
                 )

@@ -39,9 +39,9 @@ generates seeded Poisson arrival traces at a target rate; the
 throughput and p50/p95/p99 latency from the span tracer.
 """
 
-import math
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import quantile_exact
 from repro.obs.trace import observe_schedule
 from repro.sim.tasks import Scheduler
 
@@ -124,12 +124,15 @@ class ServingResult:
         return sorted(q.latency_s for q in self.queries)
 
     def percentile(self, p):
-        """Nearest-rank latency percentile (p in [0, 100])."""
+        """Nearest-rank latency percentile (p in [0, 100]).
+
+        Delegates to the shared exact-sample quantile in ``obs.metrics``
+        (same rank arithmetic, bit-identical to the formula this method
+        used to inline, so the committed BENCH gate values stand)."""
         latencies = self.latencies()
         if not latencies:
             return 0.0
-        rank = max(1, math.ceil(p / 100.0 * len(latencies)))
-        return latencies[min(rank, len(latencies)) - 1]
+        return quantile_exact(latencies, p / 100.0)
 
     @property
     def mean_queue_wait_s(self):
@@ -290,6 +293,29 @@ class ServingEngine:
         self._caps = None
         self._coalescer = None
         self._records = None
+        self._queued = None
+        self._admitted = 0
+        self._dropped = 0
+
+    # -- telemetry probes (read-only; see repro.obs.telemetry) ------------------
+
+    def queue_depth(self):
+        """Queries waiting in the admission queue right now."""
+        return len(self._queued) if self._queued is not None else 0
+
+    def admitted_count(self):
+        """Cumulative queries admitted so far this run."""
+        return self._admitted
+
+    def dropped_count(self):
+        """Cumulative admission drops (the queue is currently unbounded,
+        so this stays 0 — sampled anyway so the series exists the day a
+        bound lands)."""
+        return self._dropped
+
+    def coalescer_hits(self):
+        """Cumulative single-flight coalescer hits so far this run."""
+        return self._coalescer.hits if self._coalescer is not None else 0
 
     # -- the serving loop -------------------------------------------------------
 
@@ -310,8 +336,18 @@ class ServingEngine:
         coalescer = FetchCoalescer() if self.coalesce else None
         self._coalescer = coalescer
         system.net.coalescer = coalescer
+        telemetry = getattr(system, "telemetry", None)
+        if telemetry is not None:
+            # (re-)install the stock probe set now so rate baselines are
+            # the run start, not whenever the sampler was constructed
+            from repro.obs.telemetry import install_standard_probes
+
+            install_standard_probes(telemetry, system, engine=self)
         meter_start = system.net.meter.snapshot()
         queued = []  # (seq, QueryArrival), arrival order
+        self._queued = queued
+        self._admitted = 0
+        self._dropped = 0
         admitted_per_src = {}
         clock = 0.0
         i = 0
@@ -341,6 +377,11 @@ class ServingEngine:
                         ):
                             queued.append((i, ordered[i]))
                             i += 1
+                if telemetry is not None:
+                    # sample every interval boundary the serving clock
+                    # crossed, before this admission mutates the queue —
+                    # strictly read-only, like the rebalance tick below
+                    telemetry.advance_to(clock)
                 seq, arrival = self._pick(queued, admitted_per_src)
                 balance = getattr(system, "balance", None)
                 if balance is not None:
@@ -349,6 +390,7 @@ class ServingEngine:
                     # all happen on the same simulated timeline as serving
                     balance.maybe_tick(clock)
                 self._process(seq, arrival, clock)
+                self._admitted += 1
                 admitted_per_src[arrival.src] = (
                     admitted_per_src.get(arrival.src, 0) + 1
                 )
@@ -365,10 +407,16 @@ class ServingEngine:
             coalesced_hits=coalescer.hits if coalescer else 0,
             coalesced_bytes_saved=coalescer.bytes_saved if coalescer else 0,
         )
+        if telemetry is not None:
+            # closing samples at the makespan + the completion-fed series
+            # (exact in-flight counts, SLO feed) from the *final* shared
+            # schedule — per-query finishes are provisional until here
+            telemetry.finish(result, tracer=system.tracer, scheduler=shared)
         self._shared = None
         self._caps = None
         self._coalescer = None
         self._records = None
+        self._queued = None
         return result
 
     @staticmethod

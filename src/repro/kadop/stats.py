@@ -174,13 +174,15 @@ class NetworkStats:
         return registry
 
 
-def serving_summary(result):
+def serving_summary(result, slo=None):
     """Operator-style text summary of a
     :class:`~repro.kadop.serving.ServingResult`.
 
     One block with throughput, the latency percentiles, admission queue
     behaviour, single-flight coalescing savings, and the per-source-peer
-    admission split (the number the ``fair`` policy equalizes)."""
+    admission split (the number the ``fair`` policy equalizes).  Passing
+    the run's :class:`~repro.obs.slo.SLOTracker` appends its compliance
+    and error-budget line."""
     lines = [
         "served %d queries in %.3fs simulated  (%.2f q/s)"
         % (len(result.queries), result.makespan_s, result.throughput_qps),
@@ -210,6 +212,20 @@ def serving_summary(result):
             "peer %d: %d" % (src, count) for src, count in sorted(per_src.items())
         )
     )
+    if slo is not None:
+        lines.append(
+            "slo: %s  p%d<=%.3fs  %d/%d breaches  compliance %.4f  "
+            "budget spent %.2fx"
+            % (
+                "OK" if slo.breaches == 0 else "BREACHED",
+                round(slo.target * 100),
+                slo.objective_s,
+                slo.breaches,
+                slo.total,
+                slo.compliance,
+                slo.budget_spent,
+            )
+        )
     return "\n".join(lines)
 
 

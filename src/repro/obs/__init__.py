@@ -1,4 +1,4 @@
-"""Observability for the KadoP stack: tracing, metrics, and profiles.
+"""Observability for the KadoP stack: tracing, metrics, and telemetry.
 
 The paper's results are *decompositions* of query cost — index phase vs.
 document phase, hops, per-strategy data volume.  This package records the
@@ -10,14 +10,30 @@ same decompositions live, per query, instead of as end-of-run aggregates:
     ``chrome://tracing``;
 :mod:`repro.obs.metrics`
     a :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
-    histograms with a ``snapshot()``/``to_json()`` API;
+    histograms with a ``snapshot()``/``to_json()`` API, plus the exact
+    sample-rank quantile helpers every percentile in the repo goes
+    through;
 :mod:`repro.obs.profile`
     text reports: top spans by simulated self-time and per-resource
-    utilization.
+    utilization;
+:mod:`repro.obs.telemetry`
+    ring-buffered time-series of a serving run sampled on the serving
+    clock (queue depth, in-flight queries, per-peer byte rates, ...);
+:mod:`repro.obs.slo`
+    a latency SLO tracker with windowed error-budget burn rates, and a
+    rule-based diagnostics engine over the telemetry series;
+:mod:`repro.obs.explain`
+    per-query EXPLAIN ANALYZE: simulated time and bytes attributed to
+    phase → peer → key from the span tree, reconciled exactly against
+    the traffic meter and the query report;
+:mod:`repro.obs.report`
+    schema-versioned JSON export/validation plus terminal (``repro
+    top``) and self-contained HTML renderings of a telemetry payload.
 
-Tracing is strictly observational: enabling it must not change a single
-answer, simulated second, or metered byte (asserted by the differential
-test in ``tests/test_obs.py``).
+Tracing and telemetry are strictly observational: enabling either must
+not change a single answer, simulated second, or metered byte (asserted
+by the differential tests in ``tests/test_obs.py`` and
+``tests/test_telemetry.py``).
 """
 
 from repro.obs.metrics import (
@@ -28,6 +44,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_exact,
+    quantile_rank,
 )
 from repro.obs.trace import (
     Span,
@@ -38,24 +56,80 @@ from repro.obs.trace import (
     validate_trace_file,
     write_chrome_trace,
 )
-from repro.obs.profile import format_profile, phase_totals, top_spans
+from repro.obs.profile import (
+    aggregate_spans,
+    format_profile,
+    phase_totals,
+    top_spans,
+)
+from repro.obs.telemetry import (
+    DEFAULT_CAPACITY,
+    DEFAULT_INTERVAL_S,
+    RingBuffer,
+    Series,
+    TelemetrySampler,
+    install_standard_probes,
+)
+from repro.obs.slo import Finding, SLOTracker, diagnose
+from repro.obs.explain import (
+    ExplainReport,
+    build_explain,
+    explain_query,
+)
+from repro.obs.report import (
+    EXPLAIN_SCHEMA_VERSION,
+    STATS_SCHEMA_VERSION,
+    TELEMETRY_SCHEMA_VERSION,
+    check_schema_version,
+    render_top,
+    sparkline,
+    to_html,
+    validate_telemetry,
+    write_html,
+    write_json,
+)
 
 __all__ = [
     "BYTES_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL_S",
+    "EXPLAIN_SCHEMA_VERSION",
+    "ExplainReport",
+    "Finding",
     "HOP_BUCKETS",
     "QUEUE_WAIT_BUCKETS_S",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RingBuffer",
+    "SLOTracker",
+    "STATS_SCHEMA_VERSION",
+    "Series",
     "Span",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetrySampler",
     "Tracer",
+    "aggregate_spans",
+    "build_explain",
+    "check_schema_version",
+    "diagnose",
+    "explain_query",
     "format_profile",
+    "install_standard_probes",
     "observe_schedule",
     "phase_totals",
+    "quantile_exact",
+    "quantile_rank",
+    "render_top",
+    "sparkline",
     "to_chrome_trace",
+    "to_html",
     "top_spans",
+    "validate_telemetry",
     "validate_trace",
     "validate_trace_file",
     "write_chrome_trace",
+    "write_html",
+    "write_json",
 ]

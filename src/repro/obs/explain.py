@@ -1,0 +1,358 @@
+"""Per-query EXPLAIN ANALYZE: where did the time and the bytes go?
+
+``repro explain <query>`` runs one query with tracing on and folds the
+span subtree, the :class:`~repro.kadop.execution.QueryReport`, and the
+:class:`~repro.sim.meter.TrafficMeter` delta into one attribution
+report: simulated time per phase, wire bytes per category broken down to
+peer and key.  The numbers are *reconciled*, not estimated:
+
+* **time** — the phase rows (``phase:index`` / ``view:serve`` +
+  ``phase:document``) sum exactly to the query's simulated response
+  time, because the executor constructs ``response_time_s`` as that sum;
+* **bytes** — for every meter category, attributed rows plus one
+  explicit ``(unattributed)`` residual sum exactly to the category's
+  meter delta.  Attribution is conservative (a byte is assigned to a
+  peer/key only when a span proves where it went: DHT read responses by
+  their serving holder, document-phase answers and query-ship control by
+  doc peer, routed locate control from hop counts), so the residual is
+  provably non-negative — over-claiming would be lying with decimals.
+
+:meth:`ExplainReport.reconcile` re-checks every identity and is asserted
+by ``make telemetry-smoke`` and the unit tests; :meth:`format` renders
+the terminal view.
+"""
+
+from repro.dht.network import CONTROL_BYTES
+from repro.obs.report import EXPLAIN_SCHEMA_VERSION
+
+#: DHT ops whose response payload is metered under "postings"
+_POSTING_READ_OPS = ("get", "pipelined_get", "block_get")
+
+#: label of the residual row every category carries
+UNATTRIBUTED = "(unattributed)"
+
+
+class ExplainReport:
+    """One query's time/byte attribution; built by :func:`explain_query`."""
+
+    def __init__(self, query, num_answers, report):
+        self.schema_version = EXPLAIN_SCHEMA_VERSION
+        self.query = query
+        self.num_answers = num_answers
+        self.report = report
+        self.phases = []  # [{name, time_s}], summing to response_time_s
+        # category -> {"total": bytes, "rows": [{peer, key, bytes}],
+        #              "unattributed": bytes}
+        self.categories = {}
+        self.peer_busy = {}  # track -> seconds of span-attributed work
+
+    # -- construction helpers ----------------------------------------------
+
+    def add_phase(self, name, time_s):
+        self.phases.append({"name": name, "time_s": time_s})
+
+    def attribute(self, category, peer, key, nbytes):
+        if nbytes <= 0:
+            return
+        cat = self.categories.setdefault(
+            category, {"total": 0, "rows": {}, "unattributed": 0}
+        )
+        cat["rows"][(peer, key)] = cat["rows"].get((peer, key), 0) + nbytes
+
+    def close_categories(self, traffic):
+        """Pin category totals to the meter delta; residual = the rest."""
+        for category, total in traffic.items():
+            cat = self.categories.setdefault(
+                category, {"total": 0, "rows": {}, "unattributed": 0}
+            )
+            cat["total"] = total
+            cat["unattributed"] = total - sum(cat["rows"].values())
+
+    # -- reconciliation ----------------------------------------------------
+
+    def reconcile(self):
+        """Re-check every attribution identity; returns ``{ok, checks}``.
+
+        * phase times sum to the report's response time (exact float
+          equality — both sides are the same additions);
+        * per category: rows + residual == meter delta, residual >= 0;
+        * total attributed+residual bytes == ``report.total_bytes``.
+        """
+        checks = []
+        phase_sum = 0.0
+        for phase in self.phases:
+            phase_sum += phase["time_s"]
+        checks.append(
+            {
+                "check": "time: sum(phases) == response_time_s",
+                "got": phase_sum,
+                "want": self.report.response_time_s,
+                "ok": phase_sum == self.report.response_time_s,
+            }
+        )
+        grand = 0
+        for category in sorted(self.categories):
+            cat = self.categories[category]
+            attributed = sum(cat["rows"].values())
+            grand += attributed + cat["unattributed"]
+            checks.append(
+                {
+                    "check": "bytes[%s]: rows + residual == meter delta"
+                    % category,
+                    "got": attributed + cat["unattributed"],
+                    "want": cat["total"],
+                    "ok": attributed + cat["unattributed"] == cat["total"],
+                }
+            )
+            checks.append(
+                {
+                    "check": "bytes[%s]: residual >= 0" % category,
+                    "got": cat["unattributed"],
+                    "want": ">= 0",
+                    "ok": cat["unattributed"] >= 0,
+                }
+            )
+        checks.append(
+            {
+                "check": "bytes: sum(categories) == report.total_bytes",
+                "got": grand,
+                "want": self.report.total_bytes,
+                "ok": grand == self.report.total_bytes,
+            }
+        )
+        return {"ok": all(c["ok"] for c in checks), "checks": checks}
+
+    def assert_reconciles(self):
+        result = self.reconcile()
+        if not result["ok"]:
+            failed = [c for c in result["checks"] if not c["ok"]]
+            raise AssertionError(
+                "explain does not reconcile: "
+                + "; ".join(
+                    "%s (got %r, want %r)" % (c["check"], c["got"], c["want"])
+                    for c in failed
+                )
+            )
+        return result
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "schema_version": self.schema_version,
+            "query": self.query,
+            "answers": self.num_answers,
+            "response_time_s": self.report.response_time_s,
+            "time_to_first_s": self.report.time_to_first_s,
+            "phases": list(self.phases),
+            "categories": {
+                category: {
+                    "total": cat["total"],
+                    "unattributed": cat["unattributed"],
+                    "rows": [
+                        {"peer": peer, "key": key, "bytes": nbytes}
+                        for (peer, key), nbytes in sorted(
+                            cat["rows"].items(),
+                            key=lambda item: (-item[1], str(item[0])),
+                        )
+                    ],
+                }
+                for category, cat in sorted(self.categories.items())
+            },
+            "peer_busy_s": {
+                track: busy for track, busy in sorted(self.peer_busy.items())
+            },
+            "reconciled": self.reconcile()["ok"],
+        }
+
+    def format(self, max_rows=8):
+        lines = [
+            "EXPLAIN ANALYZE %s" % self.query,
+            "  answers %d   response %.6fs   first answer %.6fs"
+            % (
+                self.num_answers,
+                self.report.response_time_s,
+                self.report.time_to_first_s,
+            ),
+            "",
+            "simulated time by phase:",
+        ]
+        for phase in self.phases:
+            share = (
+                phase["time_s"] / self.report.response_time_s * 100.0
+                if self.report.response_time_s
+                else 0.0
+            )
+            lines.append(
+                "  %-18s %10.6fs  %5.1f%%"
+                % (phase["name"], phase["time_s"], share)
+            )
+        lines.append(
+            "  %-18s %10.6fs  (= sum of phases, reconciled)"
+            % ("response", self.report.response_time_s)
+        )
+        if self.peer_busy:
+            lines.append("")
+            lines.append("span-attributed busy time by track:")
+            for track in sorted(
+                self.peer_busy, key=lambda t: -self.peer_busy[t]
+            ):
+                lines.append(
+                    "  %-18s %10.6fs" % (track, self.peer_busy[track])
+                )
+        lines.append("")
+        lines.append("wire bytes by category -> peer -> key:")
+        for category in sorted(self.categories):
+            cat = self.categories[category]
+            lines.append("  %-10s total %d" % (category, cat["total"]))
+            rows = sorted(
+                cat["rows"].items(), key=lambda item: (-item[1], str(item[0]))
+            )
+            for (peer, key), nbytes in rows[:max_rows]:
+                where = "peer %s" % peer if peer is not None else "routing"
+                lines.append(
+                    "    %-10s %-28r %10d" % (where, key, nbytes)
+                )
+            if len(rows) > max_rows:
+                rest = sum(nbytes for _, nbytes in rows[max_rows:])
+                lines.append(
+                    "    ... %d more rows, %d bytes"
+                    % (len(rows) - max_rows, rest)
+                )
+            if cat["unattributed"]:
+                lines.append(
+                    "    %-39s %10d" % (UNATTRIBUTED, cat["unattributed"])
+                )
+        result = self.reconcile()
+        lines.append("")
+        lines.append(
+            "reconciliation: %s (%d checks)"
+            % ("OK" if result["ok"] else "FAILED", len(result["checks"]))
+        )
+        for check in result["checks"]:
+            if not check["ok"]:
+                lines.append(
+                    "  FAILED %s: got %r, want %r"
+                    % (check["check"], check["got"], check["want"])
+                )
+        return "\n".join(lines)
+
+
+def _collect_subtree(spans, root_id):
+    """The root's spans in recorded order (parent links, not time)."""
+    keep = {root_id}
+    members = []
+    for span in spans:
+        if span.span_id == root_id or span.parent_id in keep:
+            keep.add(span.span_id)
+            members.append(span)
+    return members
+
+
+def build_explain(query, answers, report, spans, root_id):
+    """Fold one traced query run into an :class:`ExplainReport`.
+
+    ``spans`` must contain the query's full span subtree (the spans
+    recorded between ``begin_query`` and ``end_query``); attribution
+    reads only span args the recording sites proved — see module doc.
+    """
+    explain = ExplainReport(query, len(answers), report)
+    members = _collect_subtree(spans, root_id)
+    root = next(s for s in members if s.span_id == root_id)
+
+    # time: the direct phase children of the query root.  The executor
+    # builds response_time_s = index_time_s + doc_time_s on both exits
+    # (view-hit runs carry the index side in the view:serve span), so
+    # these rows sum to the root duration exactly.
+    for span in members:
+        if span.parent_id != root_id:
+            continue
+        if span.cat == "phase" or (
+            span.cat == "view" and span.name.startswith("view:serve")
+        ):
+            explain.add_phase(span.name, span.duration_s)
+
+    for span in members:
+        if span.cat in ("task", "doc", "dht"):
+            explain.peer_busy[span.track] = (
+                explain.peer_busy.get(span.track, 0.0) + span.duration_s
+            )
+        if span.cat == "dht":
+            op = span.args.get("op")
+            key = span.args.get("key")
+            served_by = span.args.get("served_by")
+            payload = span.args.get("payload", 0)
+            hops = span.args.get("hops", 0)
+            if op in _POSTING_READ_OPS:
+                # the holder's response payload, metered once per
+                # delivery under "postings"
+                explain.attribute("postings", served_by, key, payload)
+                # the routed request: CONTROL_BYTES per overlay hop.
+                # Per-attempt metering records max(1, hops_i) each, and
+                # sum(max(1, h_i)) >= max(1, sum h_i), so this never
+                # over-claims under retries
+                explain.attribute(
+                    "control", None, key, CONTROL_BYTES * max(1, hops)
+                )
+            elif op == "locate":
+                explain.attribute(
+                    "control", None, key, CONTROL_BYTES * max(1, hops)
+                )
+            elif op == "get_object":
+                explain.attribute("control", served_by, key, payload)
+                explain.attribute(
+                    "control", None, key, CONTROL_BYTES * max(1, hops)
+                )
+        elif span.cat == "doc":
+            # document-phase shipping: answer bytes and the query-ship
+            # control round trip, both metered in the same block that
+            # recorded this span
+            peer = span.args.get("peer")
+            explain.attribute(
+                "documents", peer, "(answers)", span.args.get("bytes", 0)
+            )
+            explain.attribute(
+                "control", peer, "(query ship)",
+                span.args.get("control_bytes", 0),
+            )
+
+    explain.close_categories(report.traffic)
+    # sanity: the root span is the query's response time
+    if root.duration_s != report.response_time_s:
+        explain.add_phase("(root drift)", float("nan"))
+    return explain
+
+
+def explain_query(
+    system, query_text, keyword_steps=(), peer=None, strategy=None
+):
+    """Run ``query_text`` once and return ``(answers, ExplainReport)``.
+
+    Enables tracing for the run when the system has none (tracing is
+    byte-identical on/off, so this changes no result); an existing
+    tracer is reused and left attached.
+    """
+    installed = False
+    if system.tracer is None:
+        system.enable_tracing()
+        installed = True
+    tracer = system.tracer
+    first_new = len(tracer.spans)
+    try:
+        answers, report = system.query_with_report(
+            query_text,
+            keyword_steps=keyword_steps,
+            peer=peer,
+            strategy=strategy,
+        )
+        spans = tracer.spans[first_new:]
+        root_id = next(s.span_id for s in spans if s.cat == "query")
+        name = (
+            query_text
+            if isinstance(query_text, str)
+            else getattr(query_text, "to_string", lambda: repr(query_text))()
+        )
+        return answers, build_explain(name, answers, report, spans, root_id)
+    finally:
+        if installed:
+            system.disable_tracing()

@@ -12,6 +12,7 @@ wall clock, so snapshots are fully deterministic and safe to diff in tests.
 """
 
 import json
+import math
 from bisect import bisect_left
 
 #: DHT route lengths (hops); ceil(log16 N) stays tiny even for huge rings
@@ -22,6 +23,32 @@ BYTES_BUCKETS = (0, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
 
 #: scheduler queue-wait (seconds between a task becoming ready and starting)
 QUEUE_WAIT_BUCKETS_S = (0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+def quantile_rank(q, count):
+    """The 1-based nearest-rank index of quantile ``q`` in ``count`` samples.
+
+    ``rank = max(1, ceil(q * count))``, clamped to ``count`` — the single
+    definition every exact-sample quantile in the codebase derives from,
+    so ``ServingResult.percentile`` and :meth:`Histogram.quantile` can
+    never disagree on which sample a quantile names.
+    """
+    if count < 1:
+        raise ValueError("quantile of an empty sample set")
+    return min(count, max(1, math.ceil(q * count)))
+
+
+def quantile_exact(samples, q):
+    """Nearest-rank quantile over raw samples; ``q`` in [0, 1].
+
+    ``samples`` must already be sorted ascending.  Returns the sample at
+    :func:`quantile_rank` — an actual observed value, never interpolated
+    (q=0.99 of 60 latencies is the 60th-smallest latency, not a blend).
+    Returns None for an empty sequence.
+    """
+    if not samples:
+        return None
+    return samples[quantile_rank(q, len(samples)) - 1]
 
 
 class Counter:
@@ -82,14 +109,19 @@ class Histogram:
         self.count += 1
 
     def quantile(self, q):
-        """Bucket upper bound containing quantile ``q`` (0..1); None if empty."""
+        """Bucket upper bound holding quantile ``q`` (0..1); None if empty.
+
+        Nearest-rank, via the shared :func:`quantile_rank` — the same rank
+        arithmetic ``ServingResult.percentile`` applies to raw samples, so
+        the histogram answers with the (bucket-resolution) bound of the
+        identical sample a raw-sample quantile would name."""
         if not self.count:
             return None
-        target = q * self.count
+        rank = quantile_rank(q, self.count)
         seen = 0
         for bound, count in zip(self.buckets, self.counts):
             seen += count
-            if seen >= target:
+            if seen >= rank:
                 return bound
         return float("inf")
 

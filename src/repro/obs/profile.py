@@ -30,12 +30,9 @@ def self_times(spans):
     }
 
 
-def top_spans(tracer, n=12):
-    """Aggregate spans by name; top ``n`` by total self-time.
-
-    Returns ``[(name, cat, count, total_self_s, total_s)]`` sorted by
-    descending self-time.
-    """
+def aggregate_spans(tracer):
+    """Every ``(name, cat, count, total_self_s, total_s)`` row, sorted by
+    descending self-time — :func:`top_spans` without the truncation."""
     selfs = self_times(tracer.spans)
     by_name = {}
     for span in tracer.spans:
@@ -51,7 +48,16 @@ def top_spans(tracer, n=12):
         for (name, cat), (count, self_s, total_s) in by_name.items()
     ]
     rows.sort(key=lambda r: (-r[3], r[0]))
-    return rows[:n]
+    return rows
+
+
+def top_spans(tracer, n=12):
+    """Aggregate spans by name; top ``n`` by total self-time.
+
+    Returns ``[(name, cat, count, total_self_s, total_s)]`` sorted by
+    descending self-time.
+    """
+    return aggregate_spans(tracer)[:n]
 
 
 def phase_totals(tracer):
@@ -79,10 +85,23 @@ def format_profile(tracer, metrics=None, top=12):
     lines.append(
         "%10s %10s %6s  %-8s %s" % ("self (ms)", "total (ms)", "count", "cat", "name")
     )
-    for name, cat, count, self_s, total_s in top_spans(tracer, n=top):
+    rows = aggregate_spans(tracer)
+    for name, cat, count, self_s, total_s in rows[:top]:
         lines.append(
             "%10.3f %10.3f %6d  %-8s %s"
             % (self_s * 1e3, total_s * 1e3, count, cat, name)
+        )
+    if len(rows) > top:
+        # the table above is a cut, not the whole story — say so, and say
+        # how much self-time the cut left out
+        rest = rows[top:]
+        rest_spans = sum(r[2] for r in rest)
+        rest_self = sum(r[3] for r in rest)
+        whole_self = sum(r[3] for r in rows)
+        share = 100.0 * rest_self / whole_self if whole_self else 0.0
+        lines.append(
+            "... %d more span groups (%d spans), %.1f%% of self-time"
+            % (len(rest), rest_spans, share)
         )
     totals = phase_totals(tracer)
     if totals:

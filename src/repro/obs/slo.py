@@ -1,0 +1,306 @@
+"""SLO tracking and rule-based diagnostics over serving telemetry.
+
+An operator runs the store against a **latency objective**: "99% of
+queries answer within X simulated seconds".  :class:`SLOTracker`
+consumes per-query completions (fed by the telemetry sampler once the
+serving run's final schedule exists) and maintains, per sliding window
+of the serving clock:
+
+* the breach count and breach fraction (queries over the objective);
+* the window's exact-sample p99 latency;
+* the **error-budget burn rate** — breach fraction divided by the budget
+  ``1 - target``.  Burn rate 1.0 spends the budget exactly as fast as it
+  accrues; 10x burn means the window would exhaust a month of budget in
+  three days.  The framing is Google's SRE error-budget arithmetic, on
+  simulated time.
+
+:func:`diagnose` then turns the tracker plus the sampler's series into
+structured :class:`Finding`\\ s — "p99 breach in window [t0,t1): peer 3
+at 4.1x mean load, top key 'figure', 62% of breach-window read bytes" —
+the rule engine behind ``repro top`` and the experiments'
+``--telemetry`` mode.  Everything here is a pure function of recorded
+series: running diagnostics cannot change a single simulated result.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import quantile_exact
+
+#: float-comparison slack for simulated instants
+_EPS = 1e-9
+
+#: a peer whose served-byte rate exceeds this multiple of the mean of
+#: active peers is reported as hot in breach windows
+HOT_PEER_FACTOR = 2.0
+
+#: queue depth is "growing" when the last window's mean exceeds this
+#: multiple of the first window's (and is at least MIN_QUEUE_DEPTH)
+QUEUE_GROWTH_FACTOR = 2.0
+MIN_QUEUE_DEPTH = 2.0
+
+
+class SLOTracker:
+    """Latency-objective accounting over sliding serving-clock windows."""
+
+    def __init__(self, objective_s, target=0.99, window_s=0.5):
+        if objective_s <= 0:
+            raise ValueError("objective_s must be positive")
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.objective_s = float(objective_s)
+        self.target = float(target)
+        self.window_s = float(window_s)
+        self._completions = []  # (finish_s, latency_s), feed order
+
+    def observe(self, finish_s, latency_s):
+        """One query completion at serving-clock instant ``finish_s``."""
+        self._completions.append((float(finish_s), float(latency_s)))
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def total(self):
+        return len(self._completions)
+
+    @property
+    def breaches(self):
+        return sum(
+            1
+            for _, lat in self._completions
+            if lat > self.objective_s + _EPS
+        )
+
+    @property
+    def compliance(self):
+        """Fraction of completions within the objective (1.0 when idle)."""
+        if not self._completions:
+            return 1.0
+        return 1.0 - self.breaches / len(self._completions)
+
+    @property
+    def budget_spent(self):
+        """Error budget consumed, as a fraction of the whole budget."""
+        if not self._completions:
+            return 0.0
+        allowed = (1.0 - self.target) * len(self._completions)
+        return self.breaches / allowed if allowed > 0 else float("inf")
+
+    def windows(self):
+        """Per-window rows: ``[{t0_s, t1_s, total, breaches, p99_s,
+        burn_rate}]`` tiling the completion range with ``window_s``."""
+        if not self._completions:
+            return []
+        end = max(t for t, _ in self._completions) + _EPS
+        rows = []
+        t0 = 0.0
+        while t0 < end:
+            t1 = t0 + self.window_s
+            lats = sorted(
+                lat
+                for t, lat in self._completions
+                if t0 - _EPS <= t < t1 - _EPS
+            )
+            if lats:
+                breaches = sum(
+                    1 for lat in lats if lat > self.objective_s + _EPS
+                )
+                budget = 1.0 - self.target
+                rows.append(
+                    {
+                        "t0_s": t0,
+                        "t1_s": t1,
+                        "total": len(lats),
+                        "breaches": breaches,
+                        "p99_s": quantile_exact(lats, 0.99),
+                        "burn_rate": (breaches / len(lats)) / budget,
+                    }
+                )
+            t0 = t1
+        return rows
+
+    def breach_windows(self):
+        """Windows whose exact-sample p99 exceeds the objective."""
+        return [
+            w for w in self.windows() if w["p99_s"] > self.objective_s + _EPS
+        ]
+
+    def to_dict(self):
+        return {
+            "objective_s": self.objective_s,
+            "target": self.target,
+            "window_s": self.window_s,
+            "total": self.total,
+            "breaches": self.breaches,
+            "compliance": self.compliance,
+            "budget_spent": self.budget_spent,
+            "windows": self.windows(),
+        }
+
+
+@dataclass
+class Finding:
+    """One structured diagnostics result."""
+
+    kind: str  # "latency-breach" | "hot-peer" | "queue-growth"
+    severity: str  # "critical" | "warning" | "info"
+    t0_s: float
+    t1_s: float
+    subject: object = None  # peer index / key, when the rule names one
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "t0_s": self.t0_s,
+            "t1_s": self.t1_s,
+            "subject": self.subject,
+            "detail": self.detail,
+            "data": dict(self.data),
+        }
+
+    def format(self):
+        return "[%s] %s %.2f-%.2fs: %s" % (
+            self.severity,
+            self.kind,
+            self.t0_s,
+            self.t1_s,
+            self.detail,
+        )
+
+
+def _peer_rate_series(sampler):
+    """``{peer_index: Series}`` of the stock per-peer read-rate probes."""
+    out = {}
+    prefix = "peer_read_bytes_per_s{peer="
+    for name, series in sampler.series.items():
+        if name.startswith(prefix):
+            out[int(name[len(prefix):-1])] = series
+    return out
+
+
+def _window_mean(series, t0_s, t1_s):
+    stats = series.window_stats(t0_s, t1_s)
+    return stats["mean"] if stats else 0.0
+
+
+def diagnose(sampler, slo, ledger=None):
+    """Run the diagnostics rules; returns findings, worst first.
+
+    Rules:
+
+    * **latency-breach** (critical) — for every SLO window whose p99
+      exceeds the objective, one finding carrying the window's breach
+      count and burn rate;
+    * **hot-peer** (warning) — inside each breach window, the peer whose
+      served-read-byte rate tops :data:`HOT_PEER_FACTOR` times the mean
+      of active peers, with its load multiple, its hottest key (from the
+      ledger's cumulative ranking), and that key's share of the window's
+      wire bytes when derivable;
+    * **queue-growth** (warning) — admission queue depth whose last-window
+      mean is :data:`QUEUE_GROWTH_FACTOR` times the first window's.
+    """
+    findings = []
+    breaches = slo.breach_windows() if slo is not None else []
+    for window in breaches:
+        findings.append(
+            Finding(
+                kind="latency-breach",
+                severity="critical",
+                t0_s=window["t0_s"],
+                t1_s=window["t1_s"],
+                detail=(
+                    "p99 %.4fs over objective %.4fs "
+                    "(%d/%d queries breached, burn rate %.1fx)"
+                    % (
+                        window["p99_s"],
+                        slo.objective_s,
+                        window["breaches"],
+                        window["total"],
+                        window["burn_rate"],
+                    )
+                ),
+                data=dict(window),
+            )
+        )
+    peer_rates = _peer_rate_series(sampler)
+    hot_seen = set()
+    for window in breaches:
+        t0, t1 = window["t0_s"], window["t1_s"]
+        means = {
+            peer: _window_mean(series, t0, t1)
+            for peer, series in peer_rates.items()
+        }
+        active = {p: m for p, m in means.items() if m > 0}
+        if not active:
+            continue
+        mean_rate = sum(active.values()) / len(active)
+        peer, rate = max(active.items(), key=lambda kv: (kv[1], -kv[0]))
+        if mean_rate <= 0 or rate < HOT_PEER_FACTOR * mean_rate:
+            continue
+        if peer in hot_seen:
+            continue  # one hot-peer finding per peer, at its first breach
+        hot_seen.add(peer)
+        detail = "peer %d at %.1fx mean served-read load" % (
+            peer,
+            rate / mean_rate,
+        )
+        data = {"peer": peer, "rate": rate, "mean_rate": mean_rate}
+        if ledger is not None:
+            hottest = ledger.hottest_keys(1)
+            if hottest:
+                key_bytes, key = hottest[0]
+                data["top_key"] = key
+                wire = sampler.series.get("wire_bytes_per_s")
+                window_wire = (
+                    _window_mean(wire, t0, t1) * (t1 - t0) if wire else 0.0
+                )
+                if window_wire > 0:
+                    share = min(1.0, rate * (t1 - t0) / window_wire)
+                    data["peer_wire_share"] = share
+                    detail += ", top key %r, %.0f%% of window wire bytes" % (
+                        key,
+                        100.0 * share,
+                    )
+                else:
+                    detail += ", top key %r" % (key,)
+        findings.append(
+            Finding(
+                kind="hot-peer",
+                severity="warning",
+                t0_s=t0,
+                t1_s=t1,
+                subject=peer,
+                detail=detail,
+                data=data,
+            )
+        )
+    queue = sampler.series.get("queue_depth")
+    if queue is not None and len(queue.ring) >= 4:
+        items = queue.items()
+        half = len(items) // 2
+        first = sum(v for _, v in items[:half]) / half
+        last = sum(v for _, v in items[half:]) / (len(items) - half)
+        if last >= MIN_QUEUE_DEPTH and last > QUEUE_GROWTH_FACTOR * max(
+            first, 0.5
+        ):
+            findings.append(
+                Finding(
+                    kind="queue-growth",
+                    severity="warning",
+                    t0_s=items[0][0],
+                    t1_s=items[-1][0],
+                    detail=(
+                        "admission queue depth grew %.1f -> %.1f "
+                        "(mean, first vs last half of the run)"
+                        % (first, last)
+                    ),
+                    data={"first_mean": first, "last_mean": last},
+                )
+            )
+    rank = {"critical": 0, "warning": 1, "info": 2}
+    findings.sort(key=lambda f: (rank[f.severity], f.t0_s, f.kind))
+    return findings

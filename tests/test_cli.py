@@ -59,7 +59,8 @@ class TestJsonOutput:
 
         assert main(["stats", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"network", "metrics"}
+        assert set(payload) == {"schema_version", "network", "metrics"}
+        assert payload["schema_version"] == 1
         assert payload["network"]["total_postings"] > 0
         assert 0.0 <= payload["network"]["gini"] <= 1.0
         gauges = payload["metrics"]["gauges"]

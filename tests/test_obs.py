@@ -262,6 +262,18 @@ class TestProfile:
         assert "ingress" in text and "50.0%" in text
         assert "queue wait" in text
 
+    def test_format_profile_truncation_tail(self):
+        t = Tracer()
+        for i in range(6):
+            t.add("span%d" % i, "dht", "x", i * 0.1, 0.1)
+        reg = MetricsRegistry()
+        text = format_profile(t, reg, top=2)
+        # omitted groups are summarized, never silently dropped
+        assert "... 4 more span groups (4 spans)" in text
+        assert "% of self-time" in text
+        # no tail line when everything fits
+        assert "more span groups" not in format_profile(t, reg, top=10)
+
 
 class TestObserveSchedule:
     def test_queue_wait_matches_makespan_accounting(self):
