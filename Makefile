@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace fuzz-smoke telemetry-smoke bench-micro bench bench-views bench-blocks bench-serve bench-skew
+.PHONY: test test-all lint trace fuzz-smoke telemetry-smoke bench-micro check-micro bench bench-views bench-blocks bench-serve bench-skew
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -46,6 +46,11 @@ test-all:
 bench-micro:
 	$(PY) -m pytest benchmarks/test_micro.py --benchmark-only \
 		--benchmark-json=BENCH_micro.json
+
+# kernel speedup gate: the numpy backend must beat pure by >= 2x on the
+# gated benches of BENCH_micro.json (skipped when numpy rows are absent)
+check-micro:
+	$(PY) benchmarks/check_micro.py
 
 # full benchmark harness (paper table/figure regenerations included)
 bench:

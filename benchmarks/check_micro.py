@@ -1,0 +1,61 @@
+"""Regression gate over BENCH_micro.json: vectorized kernels must win.
+
+``make bench-micro`` writes BENCH_micro.json; this script then asserts
+that the numpy kernel backend beats the pure backend by at least
+MIN_SPEEDUP on every gated kernel bench (codec decode, posting merge,
+sorted concatenation, and the Bloom filter batch).  Run it with
+``make check-micro`` or ``python benchmarks/check_micro.py [path]``.
+
+When the JSON carries no ``[numpy]`` rows (a pure-only environment) the
+gate is skipped with exit code 0 — the equivalence tests still run; only
+the speedup claim needs numpy.
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 2.0
+
+GATED = [
+    "test_kernel_codec_decode",
+    "test_kernel_merge",
+    "test_kernel_concat_sorted",
+    "test_kernel_bloom_batch",
+]
+
+
+def main(path="BENCH_micro.json"):
+    with open(path) as handle:
+        report = json.load(handle)
+    means = {b["name"]: b["stats"]["mean"] for b in report["benchmarks"]}
+    if not any(name.endswith("[numpy]") for name in means):
+        print("check_micro: no [numpy] benches in %s; gate skipped" % path)
+        return 0
+    failures = []
+    for base in GATED:
+        pure = means.get("%s[pure]" % base)
+        fast = means.get("%s[numpy]" % base)
+        if pure is None or fast is None:
+            failures.append("%s: missing [pure]/[numpy] rows" % base)
+            continue
+        speedup = pure / fast
+        status = "ok" if speedup >= MIN_SPEEDUP else "FAIL"
+        print(
+            "check_micro: %-28s pure %8.4fms  numpy %8.4fms  %5.1fx  %s"
+            % (base, pure * 1e3, fast * 1e3, speedup, status)
+        )
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                "%s: %.2fx < %.1fx required" % (base, speedup, MIN_SPEEDUP)
+            )
+    if failures:
+        print("check_micro: FAILED")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print("check_micro: all gated kernels >= %.1fx" % MIN_SPEEDUP)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -142,3 +142,77 @@ def test_xml_parse_20kb(benchmark):
     text = DblpGenerator(seed=3).document(0)
     document = benchmark(lambda: parse_document(text))
     assert document.element_count > 100
+
+
+# --- kernel backend benches ------------------------------------------------
+# Parameterized over the pluggable kernel backends so the committed
+# BENCH_micro.json carries the pure-vs-numpy trajectory; check_micro.py
+# gates on the [pure]/[numpy] mean ratio of these names.
+
+from repro.bloom.filter import BloomFilter  # noqa: E402
+from repro.postings import kernels  # noqa: E402
+from repro.postings.columnar import PostingColumns  # noqa: E402
+
+KERNEL_BACKENDS = ["pure"] + (["numpy"] if kernels.numpy_available() else [])
+
+
+@pytest.fixture(params=KERNEL_BACKENDS)
+def kernel_backend(request):
+    previous = kernels.use_backend(request.param)
+    yield request.param
+    kernels.use_backend(previous)
+
+
+def _kernel_rows(n, seed, stride=3):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        start = rng.randrange(5000)
+        rows.append(
+            (i % 4, (i * stride) % 600, start, start + rng.randrange(1, 60),
+             rng.randrange(1, 9))
+        )
+    return rows
+
+
+def test_kernel_codec_decode(benchmark, kernel_backend):
+    cols = PostingColumns.from_rows(_kernel_rows(20_000, seed=11))
+    data = cols.encode()
+    decoded, _ = benchmark(lambda: PostingColumns.decode(data))
+    assert len(decoded) == len(cols)
+
+
+def test_kernel_merge(benchmark, kernel_backend):
+    # interleaved peer/doc keys: forces the general merge kernel, not the
+    # disjoint-concatenation fast path
+    a = PostingColumns.from_rows(_kernel_rows(10_000, seed=12, stride=3))
+    b = PostingColumns.from_rows(_kernel_rows(10_000, seed=13, stride=5))
+    merged = benchmark(lambda: a.merge(b))
+    assert len(merged) > len(a)
+
+
+def test_kernel_concat_sorted(benchmark, kernel_backend):
+    parts = [
+        PostingColumns.from_rows(_kernel_rows(5_000, seed=20 + j, stride=3 + j))
+        for j in range(4)
+    ]
+    total = benchmark(lambda: PostingColumns.concat_sorted(parts))
+    assert len(total) > len(parts[0])
+
+
+def test_kernel_bloom_batch(benchmark, kernel_backend):
+    rng = random.Random(14)
+    datas = [
+        b"(i%d,i%d,i%d,i%d,i%d)"
+        % (rng.randrange(4), rng.randrange(600), rng.randrange(5000),
+           rng.randrange(5000), rng.randrange(9))
+        for _ in range(20_000)
+    ]
+
+    def build_and_probe():
+        f = BloomFilter(131_101, 5, seed=9)
+        f.insert_serialized_batch(datas)
+        return f.contains_serialized_batch(datas[::2])
+
+    hits = benchmark(build_and_probe)
+    assert all(hits)

@@ -14,6 +14,7 @@ import math
 
 from hashlib import blake2b
 
+from repro.postings import kernels
 from repro.util.hashing import stable_hash
 
 _INT_TUPLE_FORMATS = {
@@ -112,6 +113,21 @@ class BloomFilter:
             pos = (h1 + i * h2) % bits
             vector[pos >> 3] |= 1 << (pos & 7)
 
+    def insert_serialized_batch(self, datas):
+        """Batch :meth:`insert_serialized` through the active kernel backend.
+
+        Identical bit vector, one call: the numpy backend hashes the whole
+        batch and applies every position in one vector pass."""
+        kernels.active().bloom_set_batch(
+            self._vector, self.bits, self.hashes, self._salt1, self._salt2, datas
+        )
+
+    def contains_serialized_batch(self, datas):
+        """Batch :meth:`contains_serialized`; returns one bool per item."""
+        return kernels.active().bloom_test_batch(
+            self._vector, self.bits, self.hashes, self._salt1, self._salt2, datas
+        )
+
     def contains_serialized(self, data):
         """Membership test on an already-canonicalized byte string."""
         h1 = int.from_bytes(
@@ -151,8 +167,9 @@ class BloomFilter:
 
     @property
     def fill_ratio(self):
-        ones = sum(bin(b).count("1") for b in self._vector)
-        return ones / self.bits
+        # one big-int popcount instead of a per-byte loop; byte order is
+        # irrelevant to the total bit count
+        return int.from_bytes(self._vector, "big").bit_count() / self.bits
 
     def expected_fp_rate(self):
         """``(1 - e^(-kn/m))^k`` with the actual insertion count."""

@@ -97,12 +97,9 @@ class BloomReducers:
             owner = self.system.net.owner_of(key)
             plist = owner.store.get(key)
             run.lists[node.node_id] = plist
-            last = plist.last
-            if last is not None and last.end > max_end:
-                max_end = last.end
-            for p in plist:
-                if p.end > max_end:
-                    max_end = p.end
+            list_max = plist.max_end()
+            if list_max > max_end:
+                max_end = list_max
         run.level = level_for(max_end)
 
     def _or_self(self, node):

@@ -105,9 +105,7 @@ class AncestorBloomFilter:
         else:
             self.filter = BloomFilter.for_items(total, fp_rate, seed=seed)
         self.dclev = dclev  # highest level present in D(L_a)
-        insert = self.filter.insert_serialized
-        for data in unique:
-            insert(data)
+        self.filter.insert_serialized_batch(unique)
         self.filter.inserted = total
         self.source_size = len(postings)
 
@@ -156,11 +154,15 @@ class AncestorBloomFilter:
     def filter_postings(self, postings, point_probe=False):
         """The sublist ``F(b, ABF(a))`` of postings that may join.
 
-        Column-backed lists run through a batch kernel: the probe walks the
-        raw columns (no Posting objects), and interval decisions are
-        memoized per call — distinct postings overwhelmingly share cover
-        intervals and dyadic containers, so most probes collapse to a dict
-        hit instead of ``k`` BLAKE2 evaluations."""
+        Column-backed lists run through a staged batch kernel: the probe
+        walks the raw columns (no Posting objects), memoizes interval
+        decisions per call — distinct postings overwhelmingly share cover
+        intervals and dyadic containers — and stages the remaining
+        membership tests in rounds (container-chain position × trace
+        index) so each round is one batched Bloom probe through the
+        active kernel backend, preserving the scalar path's early-exit
+        economy: deeper containers and later traces are only hashed for
+        keys still undecided."""
         if not isinstance(postings, PostingList):
             probe = (
                 self.may_have_ancestor_point if point_probe else self.may_have_ancestor
@@ -171,56 +173,105 @@ class AncestorBloomFilter:
         limit = 1 << l
         dclev = self.dclev
         psi_table = self._psi
-        contains = self.filter.contains_serialized
-        covered_cache = {}
-        present_cache = {}
-        keep = []
-        push = keep.append
-
-        def covered(peer, doc, lo, hi):
-            ckey = (peer, doc, lo, hi)
-            hit = covered_cache.get(ckey)
-            if hit is None:
-                hit = False
-                for clo, chi in dyadic_containers(lo, hi, l):
-                    level = (chi - clo + 1).bit_length() - 1
-                    if level > dclev:
-                        break  # no wider interval was ever inserted
-                    pkey = (peer, doc, clo, chi)
-                    present = present_cache.get(pkey)
-                    if present is None:
-                        present = True
-                        for trace in range(psi_table[level]):
-                            if not contains(
-                                b"(i%d,i%d,i%d,i%d,i%d)" % (peer, doc, clo, chi, trace)
-                            ):
-                                present = False
-                                break
-                        present_cache[pkey] = present
-                    if present:
-                        hit = True
-                        break
-                covered_cache[ckey] = hit
-            return hit
-
+        contains_batch = self.filter.contains_serialized_batch
+        # stage 1: per-row cover intervals (shared spans computed once)
+        cover_cache = {}
+        rows = []
+        push_row = rows.append
         n = len(cols)
         if point_probe:
             for i, peer, doc, start in zip(
                 range(n), cols.peer, cols.doc, cols.start
             ):
-                if start <= limit and covered(peer, doc, start, start):
-                    push(i)
+                if start <= limit:
+                    push_row((i, peer, doc, ((start, start),)))
         else:
             for i, peer, doc, start, end in zip(
                 range(n), cols.peer, cols.doc, cols.start, cols.end
             ):
                 if end > limit:
                     continue
-                for lo, hi in dyadic_cover(start, end, l):
-                    if not covered(peer, doc, lo, hi):
-                        break
+                span = (start, end)
+                cover = cover_cache.get(span)
+                if cover is None:
+                    cover = cover_cache[span] = tuple(dyadic_cover(start, end, l))
+                push_row((i, peer, doc, cover))
+        # stage 2: decide `covered` for every distinct (peer, doc, interval)
+        chain_cache = {}
+        covered = {}
+        pending = []
+        for _i, peer, doc, cover in rows:
+            for lo, hi in cover:
+                ckey = (peer, doc, lo, hi)
+                if ckey not in covered:
+                    covered[ckey] = False
+                    pending.append(ckey)
+                span = (lo, hi)
+                if span not in chain_cache:
+                    chain = []
+                    for clo, chi in dyadic_containers(lo, hi, l):
+                        level = (chi - clo + 1).bit_length() - 1
+                        if level > dclev:
+                            break  # no wider interval was ever inserted
+                        chain.append((clo, chi, level))
+                    chain_cache[span] = chain
+        present = {}
+        depth = 0
+        while pending:
+            # memberships this container-chain round needs, then their
+            # trace conjunctions evaluated level-synchronously
+            probes = []
+            for ckey in pending:
+                peer, doc, lo, hi = ckey
+                chain = chain_cache[(lo, hi)]
+                if depth < len(chain):
+                    clo, chi, level = chain[depth]
+                    pkey = (peer, doc, clo, chi)
+                    if pkey not in present:
+                        present[pkey] = False
+                        probes.append((pkey, level))
+            alive = probes
+            trace = 0
+            while alive:
+                batch = []
+                for pkey, level in alive:
+                    if trace < psi_table[level]:
+                        batch.append((pkey, level))
+                    else:
+                        present[pkey] = True  # every trace passed
+                if not batch:
+                    break
+                hits = contains_batch(
+                    [
+                        b"(i%d,i%d,i%d,i%d,i%d)"
+                        % (pkey[0], pkey[1], pkey[2], pkey[3], trace)
+                        for pkey, _level in batch
+                    ]
+                )
+                alive = [item for item, hit in zip(batch, hits) if hit]
+                trace += 1
+            still = []
+            for ckey in pending:
+                peer, doc, lo, hi = ckey
+                chain = chain_cache[(lo, hi)]
+                if depth >= len(chain):
+                    continue  # chain exhausted: not covered
+                clo, chi, _level = chain[depth]
+                if present[(peer, doc, clo, chi)]:
+                    covered[ckey] = True
                 else:
-                    push(i)
+                    still.append(ckey)
+            pending = still
+            depth += 1
+        # stage 3: a row survives iff every cover interval is covered
+        keep = []
+        push = keep.append
+        for i, peer, doc, cover in rows:
+            for lo, hi in cover:
+                if not covered[(peer, doc, lo, hi)]:
+                    break
+            else:
+                push(i)
         return PostingList._adopt(cols.select(keep))
 
     @property
@@ -258,9 +309,7 @@ class DescendantBloomFilter:
                     add_seen(item)
                     push(b"(i%d,i%d,i%d,i%d)" % item)
         self.filter = BloomFilter.for_items(total, fp_rate, seed=seed)
-        insert = self.filter.insert_serialized
-        for data in unique:
-            insert(data)
+        self.filter.insert_serialized_batch(unique)
         self.filter.inserted = total
         self.source_size = len(postings)
 
@@ -281,9 +330,13 @@ class DescendantBloomFilter:
     def filter_postings(self, postings, or_self=False):
         """The sublist ``F(a, DBF(b))`` of postings that may join.
 
-        Column-backed lists run through a batch kernel mirroring the AB
-        filter's: raw column walk plus per-call memoization of interval
-        memberships shared between postings."""
+        Column-backed lists run through a staged batch kernel mirroring
+        the AB filter's: raw column walk, per-call memoization of interval
+        memberships shared between postings, and the remaining probes
+        batched per cover-interval round through the kernel backend — a
+        row exits at the first present interval, so later intervals are
+        only hashed for rows still undecided (the scalar ``any()``
+        short-circuit, batched)."""
         if not isinstance(postings, PostingList):
             return PostingList(
                 [p for p in postings if self.may_have_descendant(p, or_self=or_self)],
@@ -293,10 +346,10 @@ class DescendantBloomFilter:
         l = self.l
         limit = 1 << l
         interior = 0 if or_self else 1
-        contains = self.filter.contains_serialized
-        member_cache = {}
-        keep = []
-        push = keep.append
+        contains_batch = self.filter.contains_serialized_batch
+        cover_cache = {}
+        rows = []
+        push_row = rows.append
         for i, peer, doc, start, end in zip(
             range(len(cols)), cols.peer, cols.doc, cols.start, cols.end
         ):
@@ -306,15 +359,44 @@ class DescendantBloomFilter:
                 hi = limit
             if lo > hi:
                 continue
-            for ilo, ihi in dyadic_cover(lo, hi, l):
-                key = (peer, doc, ilo, ihi)
-                hit = member_cache.get(key)
-                if hit is None:
-                    hit = contains(b"(i%d,i%d,i%d,i%d)" % key)
-                    member_cache[key] = hit
-                if hit:
+            span = (lo, hi)
+            cover = cover_cache.get(span)
+            if cover is None:
+                cover = cover_cache[span] = tuple(dyadic_cover(lo, hi, l))
+            push_row((i, peer, doc, cover))
+        member = {}
+        keep = []
+        push = keep.append
+        depth = 0
+        pending = rows
+        while pending:
+            probes = []
+            for _i, peer, doc, cover in pending:
+                if depth < len(cover):
+                    ilo, ihi = cover[depth]
+                    key = (peer, doc, ilo, ihi)
+                    if key not in member:
+                        member[key] = False
+                        probes.append(key)
+            if probes:
+                hits = contains_batch(
+                    [b"(i%d,i%d,i%d,i%d)" % key for key in probes]
+                )
+                for key, hit in zip(probes, hits):
+                    member[key] = hit
+            still = []
+            for row in pending:
+                i, peer, doc, cover = row
+                if depth >= len(cover):
+                    continue  # every interval missed: drop
+                ilo, ihi = cover[depth]
+                if member[(peer, doc, ilo, ihi)]:
                     push(i)
-                    break
+                else:
+                    still.append(row)
+            pending = still
+            depth += 1
+        keep.sort()
         return PostingList._adopt(cols.select(keep))
 
     @property

@@ -343,15 +343,48 @@ class DppIndex:
         # group the batch by target block: by range condition (ordered
         # mode) or by hash (the random-scattering alternative of §4.1)
         groups = {}
-        for posting in postings:
-            if self.ordered_splits:
-                entry = root.target_entry(posting)
-            else:
-                from repro.util.hashing import stable_hash
+        if self.ordered_splits:
+            # conditions partition the (p, d, sid) order and the batch is
+            # sorted, so per-entry membership is a consecutive slice: one
+            # batched bisect over the condition upper bounds replaces the
+            # per-posting entry scan
+            items = list(postings)
+            n = len(items)
+            bounded = []
+            catch_all = None
+            for entry in root.entries:
+                if entry.condition is None:
+                    catch_all = entry  # absorbs everything not caught above
+                    break
+                bounded.append(entry)
+            cuts = (
+                postings.columns().batch_bisect_right(
+                    [tuple(entry.condition.hi) for entry in bounded]
+                )
+                if bounded
+                else []
+            )
+            lo = 0
+            for entry, cut in zip(bounded, cuts):
+                if lo >= n:
+                    break
+                if cut > lo:
+                    groups[entry.seq] = (entry, items[lo:cut])
+                    lo = cut
+            if lo < n:
+                entry = catch_all if catch_all is not None else root.entries[-1]
+                held = groups.get(entry.seq)
+                if held is not None:
+                    held[1].extend(items[lo:])
+                else:
+                    groups[entry.seq] = (entry, items[lo:])
+        else:
+            from repro.util.hashing import stable_hash
 
+            for posting in postings:
                 pick = stable_hash(repr(tuple(posting)), seed=7) % len(root.entries)
                 entry = root.entries[pick]
-            groups.setdefault(entry.seq, (entry, []))[1].append(posting)
+                groups.setdefault(entry.seq, (entry, []))[1].append(posting)
 
         for entry, group in groups.values():
             if doc_type is not None:

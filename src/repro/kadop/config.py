@@ -80,6 +80,15 @@ class KadopConfig:
                                      and only serve from the view when it
                                      is cheaper (False forces view use)
 
+    Kernel backend (:mod:`repro.postings.kernels`):
+
+    ``kernel_backend``   ``"auto"`` (numpy when importable, else pure),
+                         ``"pure"``, or ``"numpy"`` — which vectorized
+                         kernel implementation the posting/Bloom hot
+                         paths use.  Results are byte-identical either
+                         way; the ``REPRO_KERNELS`` environment variable
+                         overrides this knob
+
     DHT:
 
     ``replication``      copies per key (fixed factor, set at network start)
@@ -166,6 +175,8 @@ class KadopConfig:
 
     striped_replica_fetch: bool = False
 
+    kernel_backend: str = "auto"
+
     use_views: bool = False
     view_block_entries: int = 512
     view_auto_materialize_after: int = None
@@ -209,6 +220,11 @@ class KadopConfig:
             raise ConfigError("unknown filter strategy %r" % self.filter_strategy)
         if self.parallelism < 1:
             raise ConfigError("parallelism must be >= 1")
+        if self.kernel_backend not in ("auto", "pure", "numpy"):
+            raise ConfigError(
+                "kernel_backend must be 'auto', 'pure', or 'numpy', got %r"
+                % (self.kernel_backend,)
+            )
         if self.dpp_fetch_mode not in ("eager", "window", "lazy"):
             raise ConfigError(
                 "dpp_fetch_mode must be 'eager', 'window', or 'lazy', got %r"

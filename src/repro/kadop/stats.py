@@ -40,6 +40,7 @@ class NetworkStats:
     hot_keys: list = field(default_factory=list)  # (read_bytes, key)
     hot_peers: list = field(default_factory=list)  # (read_bytes, peer)
     balance: dict = field(default_factory=dict)  # LoadBalancer.summary()
+    kernel_backend: str = ""  # active repro.postings.kernels backend
 
     @property
     def gini(self):
@@ -74,6 +75,8 @@ class NetworkStats:
             % (self.gini, self.max_over_mean),
             "hottest terms:",
         ]
+        if self.kernel_backend:
+            lines.insert(1, "kernel backend: %s" % self.kernel_backend)
         for count, term in self.hottest_terms:
             lines.append("  %8d  %s" % (count, term))
         if self.hot_keys or self.hot_peers:
@@ -231,7 +234,9 @@ def serving_summary(result, slo=None):
 
 def network_stats(system, top_terms=8):
     """Collect :class:`NetworkStats` for a live network."""
-    stats = NetworkStats()
+    from repro.postings import kernels
+
+    stats = NetworkStats(kernel_backend=kernels.backend_name())
     term_counts = {}
     for peer in system.peers:
         if not peer.node.alive:

@@ -31,6 +31,9 @@ class KadopNetwork:
 
     def __init__(self, config=None):
         self.config = config or KadopConfig()
+        from repro.postings import kernels
+
+        kernels.apply_config(self.config.kernel_backend)
         store_factory = (
             ClusteredIndexStore if self.config.store == "btree" else NaiveGzipStore
         )

@@ -28,6 +28,7 @@ duplicate-free, exactly like :class:`~repro.postings.plist.PostingList`
 
 from array import array
 
+from repro.postings import kernels
 from repro.postings.posting import Posting
 
 
@@ -114,6 +115,10 @@ class PostingColumns:
     def key(self, i):
         """The full ``(p, d, start, end, level)`` sort key of row ``i``."""
         return (self.peer[i], self.doc[i], self.start[i], self.end[i], self.level[i])
+
+    def arrays(self):
+        """The raw column 5-tuple — the currency of the kernel backends."""
+        return (self.peer, self.doc, self.start, self.end, self.level)
 
     def posting(self, i):
         return Posting(
@@ -229,6 +234,14 @@ class PostingColumns:
             step <<= 1
         return self.bisect_right(key, lo + (step >> 1) + 1, min(lo + step, n))
 
+    def batch_bisect_left(self, keys):
+        """:meth:`bisect_left` for many 5-tuple keys in one kernel call."""
+        return kernels.active().batch_bisect(self.arrays(), keys, "left")
+
+    def batch_bisect_right(self, keys):
+        """:meth:`bisect_right` for many 5-tuple keys in one kernel call."""
+        return kernels.active().batch_bisect(self.arrays(), keys, "right")
+
     # -- merge kernels ------------------------------------------------------
 
     def merge(self, other):
@@ -246,35 +259,9 @@ class PostingColumns:
             out = other.copy()
             out.extend_cols(self)
             return out
-        rows = []
-        push = rows.append
-        ita = self.rows()
-        itb = other.rows()
-        a = next(ita)
-        b = next(itb)
-        prev = None
-        while True:
-            if a <= b:
-                if a != prev:
-                    push(a)
-                    prev = a
-                a = next(ita, None)
-                if a is None:
-                    if b != prev:
-                        push(b)
-                    rows.extend(itb)
-                    break
-            else:
-                if b != prev:
-                    push(b)
-                    prev = b
-                b = next(itb, None)
-                if b is None:
-                    if a != prev:
-                        push(a)
-                    rows.extend(ita)
-                    break
-        return PostingColumns._from_sorted_unique(rows)
+        return PostingColumns(
+            *kernels.active().merge(self.arrays(), other.arrays())
+        )
 
     @classmethod
     def concat_sorted(cls, parts):
@@ -302,18 +289,9 @@ class PostingColumns:
             for part in chunks[1:]:
                 out.extend_cols(part)
             return out
-        rows = []
-        for part in chunks:
-            rows.extend(part.rows())
-        rows.sort()
-        deduped = []
-        push = deduped.append
-        prev = None
-        for row in rows:
-            if row != prev:
-                push(row)
-                prev = row
-        return cls._from_sorted_unique(deduped)
+        return cls(
+            *kernels.active().concat_sorted([part.arrays() for part in chunks])
+        )
 
     def extend_cols(self, other):
         """Blind column append (caller guarantees order and uniqueness)."""
@@ -345,14 +323,7 @@ class PostingColumns:
 
     def doc_ids(self):
         """Ordered, duplicate-free ``(peer, doc)`` pairs."""
-        out = []
-        push = out.append
-        prev = None
-        for pd in zip(self.peer, self.doc):
-            if pd != prev:
-                push(pd)
-                prev = pd
-        return out
+        return kernels.active().doc_ids(self.peer, self.doc)
 
     def max_end(self):
         """Largest ``end`` tag position, or 0 when empty (filter sizing)."""
@@ -372,43 +343,15 @@ class PostingColumns:
         varints and ``encoded_size`` sums their varint widths, so the two
         can never disagree.
         """
-        vals = [len(self.peer)]
-        push = vals.append
-        prev_peer = prev_doc = prev_start = 0
-        for p, d, s, e, l in zip(self.peer, self.doc, self.start, self.end, self.level):
-            dpeer = p - prev_peer
-            push(dpeer)
-            if dpeer:
-                prev_doc = prev_start = 0
-            ddoc = d - prev_doc
-            push(ddoc)
-            if ddoc:
-                prev_start = 0
-            push(s - prev_start)
-            push(e - s)
-            push(l)
-            prev_peer = p
-            prev_doc = d
-            prev_start = s
-        return vals
+        return kernels.active().wire_values(self.arrays())
 
     def encode(self):
         """Serialize straight from the columns; no Posting objects."""
-        out = bytearray()
-        push = out.append
-        for v in self.wire_values():
-            if v < 0x80:
-                push(v)
-            else:
-                while v >= 0x80:
-                    push((v & 0x7F) | 0x80)
-                    v >>= 7
-                push(v)
-        return bytes(out)
+        return kernels.active().encode(self.arrays())
 
     def encoded_size(self):
         """Exact ``len(self.encode())`` without building the bytes."""
-        return sum(((v.bit_length() + 6) // 7) or 1 for v in self.wire_values())
+        return kernels.active().encoded_size(self.arrays())
 
     @classmethod
     def decode(cls, data, offset=0):
@@ -417,113 +360,5 @@ class PostingColumns:
         Returns ``(PostingColumns, next_offset)``.  The inverse of
         :meth:`encode`; decoding materializes zero Posting objects.
         """
-        peer = array("q")
-        doc = array("q")
-        start = array("q")
-        end = array("q")
-        level = array("q")
-        push_peer = peer.append
-        push_doc = doc.append
-        push_start = start.append
-        push_end = end.append
-        push_level = level.append
-        pos = offset
-        try:
-            # count
-            v = data[pos]
-            pos += 1
-            if v & 0x80:
-                v &= 0x7F
-                shift = 7
-                while True:
-                    b = data[pos]
-                    pos += 1
-                    v |= (b & 0x7F) << shift
-                    if not b & 0x80:
-                        break
-                    shift += 7
-            count = v
-            cur_peer = cur_doc = cur_start = 0
-            for _ in range(count):
-                # delta(peer)
-                v = data[pos]
-                pos += 1
-                if v & 0x80:
-                    v &= 0x7F
-                    shift = 7
-                    while True:
-                        b = data[pos]
-                        pos += 1
-                        v |= (b & 0x7F) << shift
-                        if not b & 0x80:
-                            break
-                        shift += 7
-                if v:
-                    cur_peer += v
-                    cur_doc = cur_start = 0
-                # delta-or-abs(doc)
-                v = data[pos]
-                pos += 1
-                if v & 0x80:
-                    v &= 0x7F
-                    shift = 7
-                    while True:
-                        b = data[pos]
-                        pos += 1
-                        v |= (b & 0x7F) << shift
-                        if not b & 0x80:
-                            break
-                        shift += 7
-                if v:
-                    cur_doc += v
-                    cur_start = 0
-                # delta-or-abs(start)
-                v = data[pos]
-                pos += 1
-                if v & 0x80:
-                    v &= 0x7F
-                    shift = 7
-                    while True:
-                        b = data[pos]
-                        pos += 1
-                        v |= (b & 0x7F) << shift
-                        if not b & 0x80:
-                            break
-                        shift += 7
-                cur_start += v
-                # end - start
-                v = data[pos]
-                pos += 1
-                if v & 0x80:
-                    v &= 0x7F
-                    shift = 7
-                    while True:
-                        b = data[pos]
-                        pos += 1
-                        v |= (b & 0x7F) << shift
-                        if not b & 0x80:
-                            break
-                        shift += 7
-                span = v
-                # level
-                v = data[pos]
-                pos += 1
-                if v & 0x80:
-                    v &= 0x7F
-                    shift = 7
-                    while True:
-                        b = data[pos]
-                        pos += 1
-                        v |= (b & 0x7F) << shift
-                        if not b & 0x80:
-                            break
-                        shift += 7
-                push_peer(cur_peer)
-                push_doc(cur_doc)
-                push_start(cur_start)
-                push_end(cur_start + span)
-                push_level(v)
-        except IndexError:
-            # report the position reached, like the per-varint decoder did
-            raise ValueError("truncated uvarint at offset %d" % pos) from None
-        return cls(peer, doc, start, end, level), pos
+        cols, pos = kernels.active().decode(data, offset)
+        return cls(*cols), pos

@@ -1,0 +1,449 @@
+"""The numpy kernel backend: vectorized posting and Bloom kernels.
+
+Same interface and byte-identical results as
+:mod:`repro.postings.kernels.pure`; every case the vector code cannot
+reproduce exactly (value ranges past the packing or accumulator bounds,
+negative wire values, malformed varint streams) falls back to the pure
+kernel so error messages and edge behaviour match too.
+
+The merge/concat kernels hinge on *adaptive bit-packing*: the five
+columns' value ranges are measured, shifted to non-negative, and packed
+high-to-low into one ``uint64`` key per row, which preserves the
+lexicographic ``(p, d, start, end, level)`` order.  Merging two sorted
+key arrays is then two ``searchsorted`` rank computations plus a
+scatter; concatenation is one stable (radix) sort.  Dedup is an
+adjacent-difference mask in both cases.
+
+The codec kernels split each varint stream on its terminator bytes
+(``< 0x80``) with ``flatnonzero``, accumulate the payload bits per byte
+position, and rebuild the document/start deltas with a cumulative-sum +
+segment-base trick (valid because the cumulative sums are monotone for
+any correctly delta-encoded sorted list).
+
+The Bloom kernels batch all BLAKE2 digests through one prototype-copy
+loop, reduce ``h1``/``h2`` modulo ``bits`` *before* the double-hashing
+expansion (exact by modular arithmetic, and keeps every intermediate in
+``uint64``), and apply the positions through one
+``unpackbits``/``packbits`` round trip.
+"""
+
+from array import array
+from hashlib import blake2b
+
+import numpy as np
+
+from repro.postings.kernels import pure as _pure
+
+NAME = "numpy"
+
+_I64 = np.int64
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _views(cols):
+    return [np.frombuffer(col, dtype=_I64) for col in cols]
+
+
+def _to_arrays(views):
+    return tuple(array("q", np.ascontiguousarray(v, dtype=_I64).tobytes()) for v in views)
+
+
+# -- adaptive bit-packing ----------------------------------------------------
+
+
+def _pack(chunk_views):
+    """Pack each chunk's five columns into one ``uint64`` key per row.
+
+    Returns ``(packed_chunks, mins, shifts, widths)``, or ``None`` when
+    the combined field widths exceed 64 bits (the caller then falls back
+    to the pure kernel).  Field order peer > doc > start > end > level is
+    kept by assigning high bits to more significant fields, so unsigned
+    comparison of packed keys equals lexicographic row comparison."""
+    mins = []
+    widths = []
+    for i in range(5):
+        lo = min(int(v[i].min()) for v in chunk_views)
+        hi = max(int(v[i].max()) for v in chunk_views)
+        mins.append(lo)
+        widths.append(max(1, (hi - lo).bit_length()))
+    if sum(widths) > 64:
+        return None
+    shifts = [0] * 5
+    shift = 0
+    for i in range(4, -1, -1):
+        shifts[i] = shift
+        shift += widths[i]
+    packed = []
+    for views in chunk_views:
+        acc = np.zeros(len(views[0]), dtype=_U64)
+        for i in range(5):
+            # uint64 wrap-around subtraction is exact mod 2**64, and the
+            # shifted value is < 2**widths[i] by construction
+            col = views[i].astype(_U64) - _U64(mins[i] & _MASK64)
+            acc |= col << _U64(shifts[i])
+        packed.append(acc)
+    return packed, mins, shifts, widths
+
+
+def _unpack(packed, mins, shifts, widths):
+    cols = []
+    for i in range(5):
+        field = (packed >> _U64(shifts[i])) & _U64((1 << widths[i]) - 1)
+        cols.append(field.astype(_I64) + _I64(mins[i]))
+    return cols
+
+
+def _dedup_sorted(keys):
+    if len(keys) < 2:
+        return keys
+    keep = np.empty(len(keys), dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+# -- merge kernels -----------------------------------------------------------
+
+
+def merge(a, b):
+    if not len(a[0]):
+        return tuple(col[:] for col in b)
+    if not len(b[0]):
+        return tuple(col[:] for col in a)
+    packed = _pack([_views(a), _views(b)])
+    if packed is None:
+        return _pure.merge(a, b)
+    (pa, pb), mins, shifts, widths = packed
+    # rank-based merge scatter: 'left' vs 'right' breaks ties so equal
+    # keys land adjacent (a first) and never collide on a slot
+    pos_a = np.arange(len(pa), dtype=_I64) + np.searchsorted(pb, pa, side="left")
+    pos_b = np.arange(len(pb), dtype=_I64) + np.searchsorted(pa, pb, side="right")
+    out = np.empty(len(pa) + len(pb), dtype=_U64)
+    out[pos_a] = pa
+    out[pos_b] = pb
+    return _to_arrays(_unpack(_dedup_sorted(out), mins, shifts, widths))
+
+
+def concat_sorted(chunks):
+    chunks = [part for part in chunks if len(part[0])]
+    if not chunks:
+        return _pure._empty_columns()
+    if len(chunks) == 1:
+        return tuple(col[:] for col in chunks[0])
+    packed = _pack([_views(part) for part in chunks])
+    if packed is None:
+        return _pure.concat_sorted(chunks)
+    parts, mins, shifts, widths = packed
+    keys = np.concatenate(parts)
+    keys.sort(kind="stable")  # radix sort on integer keys
+    return _to_arrays(_unpack(_dedup_sorted(keys), mins, shifts, widths))
+
+
+# -- search kernels ----------------------------------------------------------
+
+
+def batch_bisect(cols, keys, side):
+    m = len(keys)
+    n = len(cols[0])
+    # small batches (the DPP routing case) lose to conversion overhead
+    if m < 32 or n < 64:
+        return _pure.batch_bisect(cols, keys, side)
+    try:
+        karr = np.array(keys, dtype=_I64)
+    except (OverflowError, ValueError):
+        # sentinel keys like 2**63 exceed int64: keep exact semantics
+        return _pure.batch_bisect(cols, keys, side)
+    if karr.ndim != 2 or karr.shape[1] != 5:
+        return _pure.batch_bisect(cols, keys, side)
+    peer, doc, start, end, level = _views(cols)
+    k0, k1, k2, k3, k4 = (karr[:, i] for i in range(5))
+    if side == "left":
+        last_lt = np.less  # advance while row < key
+    else:
+        last_lt = np.less_equal  # advance while row <= key
+    lo = np.zeros(m, dtype=_I64)
+    hi = np.full(m, n, dtype=_I64)
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        idx = np.minimum(mid, n - 1)  # clamp settled lanes only
+        p = peer[idx]
+        d = doc[idx]
+        s = start[idx]
+        e = end[idx]
+        v = level[idx]
+        adv = (
+            (p < k0)
+            | ((p == k0) & ((d < k1)
+            | ((d == k1) & ((s < k2)
+            | ((s == k2) & ((e < k3)
+            | ((e == k3) & last_lt(v, k4))))))))
+        ) & active
+        lo = np.where(adv, mid + 1, lo)
+        hi = np.where(active & ~adv, mid, hi)
+    return lo.tolist()
+
+
+def seek_end_ge(peer, doc, end, pos, n, key):
+    tp, td, te = key
+    # short scalar prefix: typical twig skips are a handful of rows, and
+    # the vector setup would dominate them
+    limit = pos + 4 if pos + 4 < n else n
+    while pos < limit:
+        p = peer[pos]
+        if p > tp:
+            return pos
+        if p == tp:
+            d = doc[pos]
+            if d > td:
+                return pos
+            if d == td and end[pos] >= te:
+                return pos
+        pos += 1
+    if pos >= n:
+        return n
+    pv = np.frombuffer(peer, dtype=_I64)
+    dv = np.frombuffer(doc, dtype=_I64)
+    ev = np.frombuffer(end, dtype=_I64)
+    chunk = 32
+    i = pos
+    while i < n:
+        j = i + chunk if i + chunk < n else n
+        p = pv[i:j]
+        d = dv[i:j]
+        e = ev[i:j]
+        stop = (p > tp) | ((p == tp) & ((d > td) | ((d == td) & (e >= te))))
+        k = int(stop.argmax())
+        if stop[k]:
+            return i + k
+        i = j
+        if chunk < 4096:
+            chunk <<= 1
+    return n
+
+
+# -- derived views -----------------------------------------------------------
+
+
+def doc_ids(peer, doc):
+    n = len(peer)
+    if n == 0:
+        return []
+    p = np.frombuffer(peer, dtype=_I64)
+    d = np.frombuffer(doc, dtype=_I64)
+    if n == 1:
+        return [(int(p[0]), int(d[0]))]
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    keep[1:] = (p[1:] != p[:-1]) | (d[1:] != d[:-1])
+    return list(zip(p[keep].tolist(), d[keep].tolist()))
+
+
+# -- wire format kernels -----------------------------------------------------
+
+
+def wire_values(cols):
+    vals = _delta_values(cols)
+    if vals is None:
+        return _pure.wire_values(cols)
+    return vals.tolist()
+
+
+def _delta_values(cols):
+    """The wire-value sequence as one int64 array, or None on negatives.
+
+    A negative element means either genuinely invalid input (negative
+    delta / span / level, where the pure encoder raises) or an int64
+    subtraction overflow; both route the caller to the pure kernel."""
+    n = len(cols[0])
+    if n == 0:
+        return np.array([0], dtype=_I64)
+    peer, doc, start, end, level = _views(cols)
+    dpeer = np.empty(n, dtype=_I64)
+    dpeer[0] = peer[0]
+    np.subtract(peer[1:], peer[:-1], out=dpeer[1:])
+    reset_doc = dpeer != 0
+    prev_doc = np.empty(n, dtype=_I64)
+    prev_doc[0] = 0
+    prev_doc[1:] = doc[:-1]
+    ddoc = np.where(reset_doc, doc, doc - prev_doc)
+    reset_start = reset_doc | (ddoc != 0)
+    prev_start = np.empty(n, dtype=_I64)
+    prev_start[0] = 0
+    prev_start[1:] = start[:-1]
+    dstart = np.where(reset_start, start, start - prev_start)
+    span = end - start
+    vals = np.empty(5 * n + 1, dtype=_I64)
+    vals[0] = n
+    vals[1::5] = dpeer
+    vals[2::5] = ddoc
+    vals[3::5] = dstart
+    vals[4::5] = span
+    vals[5::5] = level
+    if int(vals.min()) < 0:
+        return None
+    return vals
+
+
+def encode(cols):
+    vals = _delta_values(cols)
+    if vals is None:
+        return _pure.encode(cols)
+    u = vals.astype(_U64)
+    nbytes = np.ones(len(u), dtype=_I64)
+    rest = u >> _U64(7)
+    while rest.any():
+        nbytes += rest != 0
+        rest >>= _U64(7)
+    offsets = np.zeros(len(u), dtype=_I64)
+    np.cumsum(nbytes[:-1], out=offsets[1:])
+    out = np.zeros(int(offsets[-1] + nbytes[-1]), dtype=np.uint8)
+    for j in range(int(nbytes.max())):
+        mask = nbytes > j
+        byte = ((u[mask] >> _U64(7 * j)) & _U64(0x7F)).astype(np.uint8)
+        cont = (nbytes[mask] - 1) > j
+        out[offsets[mask] + j] = byte | (cont.astype(np.uint8) << 7)
+    return out.tobytes()
+
+
+def encoded_size(cols):
+    vals = _delta_values(cols)
+    if vals is None:
+        return _pure.encoded_size(cols)
+    u = vals.astype(_U64)
+    nbytes = np.ones(len(u), dtype=_I64)
+    rest = u >> _U64(7)
+    while rest.any():
+        nbytes += rest != 0
+        rest >>= _U64(7)
+    return int(nbytes.sum())
+
+
+def decode(data, offset=0):
+    pos = offset
+    try:
+        v = data[pos]
+        pos += 1
+        if v & 0x80:
+            v &= 0x7F
+            shift = 7
+            while True:
+                b = data[pos]
+                pos += 1
+                v |= (b & 0x7F) << shift
+                if not b & 0x80:
+                    break
+                shift += 7
+        count = v
+    except IndexError:
+        raise ValueError("truncated uvarint at offset %d" % pos) from None
+    if count == 0:
+        return _pure._empty_columns(), pos
+    nvals = count * 5
+    # delta magnitudes < 2**28 (4 varint bytes) and counts < 2**31 keep
+    # every cumulative sum below 2**59: no int64 accumulator overflow.
+    # Bigger values are legal but rare — the pure kernel handles them.
+    if count > (1 << 31):
+        return _pure.decode(data, offset)
+    window = min(len(data), pos + nvals * 9)
+    stream = np.frombuffer(data, dtype=np.uint8, count=window - pos, offset=pos)
+    term = np.flatnonzero(stream < 0x80)
+    if len(term) < nvals:
+        # truncated stream, or varints longer than the scan window —
+        # the pure parser reproduces the exact error (or result)
+        return _pure.decode(data, offset)
+    ends = term[:nvals]
+    starts = np.empty(nvals, dtype=_I64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    maxlen = int(lengths.max())
+    if maxlen > 4:
+        return _pure.decode(data, offset)
+    vals = (stream[starts] & 0x7F).astype(_I64)
+    for j in range(1, maxlen):
+        mask = lengths > j
+        vals[mask] |= (stream[starts[mask] + j].astype(_I64) & 0x7F) << (7 * j)
+    vals = vals.reshape(count, 5)
+    dpeer = vals[:, 0]
+    ddoc = vals[:, 1]
+    dstart = vals[:, 2]
+    span = vals[:, 3]
+    level = vals[:, 4]
+    peer = np.cumsum(dpeer)
+    # segmented cumulative sums: doc resets where dpeer != 0, start
+    # resets where dpeer != 0 or ddoc != 0.  The running maximum of the
+    # reset bases is exact because the cumulative sums are monotone.
+    reset_doc = dpeer != 0
+    csum_doc = np.cumsum(ddoc)
+    base_doc = np.maximum.accumulate(np.where(reset_doc, csum_doc - ddoc, 0))
+    doc = csum_doc - base_doc
+    reset_start = reset_doc | (ddoc != 0)
+    csum_start = np.cumsum(dstart)
+    base_start = np.maximum.accumulate(
+        np.where(reset_start, csum_start - dstart, 0)
+    )
+    start = csum_start - base_start
+    end = start + span
+    return (
+        _to_arrays((peer, doc, start, end, np.ascontiguousarray(level))),
+        pos + int(ends[-1]) + 1,
+    )
+
+
+# -- Bloom filter bit kernels ------------------------------------------------
+
+
+def _positions(bits, hashes, salt1, salt2, datas):
+    """The (len(datas), hashes) matrix of bit positions.
+
+    The two 64-bit digests per item are computed through prototype
+    ``copy()`` (cheaper than re-running the blake2b constructor) and
+    reduced mod ``bits`` before the ``h1 + i*h2`` expansion — exact by
+    modular arithmetic, and every intermediate stays below 2**64."""
+    copy1 = blake2b(digest_size=8, salt=salt1).copy
+    copy2 = blake2b(digest_size=8, salt=salt2).copy
+    parts = []
+    push = parts.append
+    for data in datas:
+        h = copy1()
+        h.update(data)
+        push(h.digest())
+        h = copy2()
+        h.update(data)
+        push(h.digest())
+    digests = np.frombuffer(b"".join(parts), dtype="<u8").reshape(-1, 2)
+    nbits = _U64(bits)
+    h1 = digests[:, 0] % nbits
+    h2 = (digests[:, 1] | _U64(1)) % nbits
+    ks = np.arange(hashes, dtype=_U64)
+    return (h1[:, None] + ks[None, :] * h2[:, None]) % nbits
+
+
+def bloom_set_batch(vector, bits, hashes, salt1, salt2, datas):
+    if not datas:
+        return
+    if bits * hashes >= (1 << 62):
+        _pure.bloom_set_batch(vector, bits, hashes, salt1, salt2, datas)
+        return
+    positions = _positions(bits, hashes, salt1, salt2, datas)
+    bitarr = np.unpackbits(
+        np.frombuffer(vector, dtype=np.uint8), bitorder="little"
+    )
+    bitarr[positions.reshape(-1)] = 1
+    vector[:] = np.packbits(bitarr, bitorder="little").tobytes()
+
+
+def bloom_test_batch(vector, bits, hashes, salt1, salt2, datas):
+    if not datas:
+        return []
+    if bits * hashes >= (1 << 62):
+        return _pure.bloom_test_batch(vector, bits, hashes, salt1, salt2, datas)
+    positions = _positions(bits, hashes, salt1, salt2, datas)
+    bitarr = np.unpackbits(
+        np.frombuffer(vector, dtype=np.uint8), bitorder="little"
+    )
+    return bitarr[positions].all(axis=1).tolist()

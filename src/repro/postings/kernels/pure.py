@@ -1,0 +1,358 @@
+"""The pure-Python kernel backend: the original loop implementations.
+
+Every function operates on raw data — column 5-tuples of ``array('q')``
+(``peer, doc, start, end, level``), byte strings, plain tuples — and is
+the reference semantics the numpy backend must reproduce byte-for-byte.
+These bodies are the loops that previously lived inline in
+``PostingColumns``/``BloomFilter``; they moved here unchanged so both
+backends sit behind one interface.
+"""
+
+from array import array
+from hashlib import blake2b
+
+NAME = "pure"
+
+
+def _empty_columns():
+    return (array("q"), array("q"), array("q"), array("q"), array("q"))
+
+
+def _transpose(rows):
+    """Sorted, duplicate-free row list -> column 5-tuple."""
+    if not rows:
+        return _empty_columns()
+    peer, doc, start, end, level = zip(*rows)
+    return (
+        array("q", peer),
+        array("q", doc),
+        array("q", start),
+        array("q", end),
+        array("q", level),
+    )
+
+
+# -- merge kernels -----------------------------------------------------------
+
+
+def merge(a, b):
+    """O(n+m) two-pointer ordered union with dedup over column tuples."""
+    if not len(a[0]):
+        return tuple(col[:] for col in b)
+    if not len(b[0]):
+        return tuple(col[:] for col in a)
+    rows = []
+    push = rows.append
+    ita = zip(*a)
+    itb = zip(*b)
+    row_a = next(ita)
+    row_b = next(itb)
+    prev = None
+    while True:
+        if row_a <= row_b:
+            if row_a != prev:
+                push(row_a)
+                prev = row_a
+            row_a = next(ita, None)
+            if row_a is None:
+                if row_b != prev:
+                    push(row_b)
+                rows.extend(itb)
+                break
+        else:
+            if row_b != prev:
+                push(row_b)
+                prev = row_b
+            row_b = next(itb, None)
+            if row_b is None:
+                if row_a != prev:
+                    push(row_a)
+                rows.extend(ita)
+                break
+    return _transpose(rows)
+
+
+def concat_sorted(chunks):
+    """Ordered union of many column tuples: collect + sort + dedup."""
+    rows = []
+    for part in chunks:
+        rows.extend(zip(*part))
+    rows.sort()
+    deduped = []
+    push = deduped.append
+    prev = None
+    for row in rows:
+        if row != prev:
+            push(row)
+            prev = row
+    return _transpose(deduped)
+
+
+# -- search kernels ----------------------------------------------------------
+
+
+def batch_bisect(cols, keys, side):
+    """``bisect_left``/``bisect_right`` of many 5-tuple keys in one call."""
+    peer, doc, start, end, level = cols
+    n = len(peer)
+    out = []
+    push = out.append
+    if side == "left":
+        for key in keys:
+            lo, hi = 0, n
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if (peer[mid], doc[mid], start[mid], end[mid], level[mid]) < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            push(lo)
+    else:
+        for key in keys:
+            lo, hi = 0, n
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if key < (peer[mid], doc[mid], start[mid], end[mid], level[mid]):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            push(lo)
+    return out
+
+
+def seek_end_ge(peer, doc, end, pos, n, key):
+    """First index ``>= pos`` whose ``(peer, doc, end)`` sorts ``>= key``.
+
+    The twig-join skip: scan forward from ``pos`` (``end`` is not
+    monotonic within a document, so this is a first-fail scan, not a
+    bisect) and return the stop position, or ``n`` when every remaining
+    row sorts before ``key``."""
+    tp, td, te = key
+    while pos < n:
+        p = peer[pos]
+        if p > tp:
+            break
+        if p == tp:
+            d = doc[pos]
+            if d > td:
+                break
+            if d == td and end[pos] >= te:
+                break
+        pos += 1
+    return pos
+
+
+# -- derived views -----------------------------------------------------------
+
+
+def doc_ids(peer, doc):
+    """Ordered, duplicate-free ``(peer, doc)`` pairs from two columns."""
+    out = []
+    push = out.append
+    prev = None
+    for pd in zip(peer, doc):
+        if pd != prev:
+            push(pd)
+            prev = pd
+    return out
+
+
+# -- wire format kernels -----------------------------------------------------
+
+
+def wire_values(cols):
+    """The flat integer sequence of the wire format, deltas applied."""
+    peer, doc, start, end, level = cols
+    vals = [len(peer)]
+    push = vals.append
+    prev_peer = prev_doc = prev_start = 0
+    for p, d, s, e, l in zip(peer, doc, start, end, level):
+        dpeer = p - prev_peer
+        push(dpeer)
+        if dpeer:
+            prev_doc = prev_start = 0
+        ddoc = d - prev_doc
+        push(ddoc)
+        if ddoc:
+            prev_start = 0
+        push(s - prev_start)
+        push(e - s)
+        push(l)
+        prev_peer = p
+        prev_doc = d
+        prev_start = s
+    return vals
+
+
+def encode(cols):
+    """Serialize columns to the delta-varint wire bytes."""
+    out = bytearray()
+    push = out.append
+    for v in wire_values(cols):
+        if v < 0x80:
+            push(v)
+        else:
+            while v >= 0x80:
+                push((v & 0x7F) | 0x80)
+                v >>= 7
+            push(v)
+    return bytes(out)
+
+
+def encoded_size(cols):
+    """Exact ``len(encode(cols))`` without building the bytes."""
+    return sum(((v.bit_length() + 6) // 7) or 1 for v in wire_values(cols))
+
+
+def decode(data, offset=0):
+    """Parse the wire format into a column 5-tuple.
+
+    Returns ``((peer, doc, start, end, level), next_offset)``."""
+    peer = array("q")
+    doc = array("q")
+    start = array("q")
+    end = array("q")
+    level = array("q")
+    push_peer = peer.append
+    push_doc = doc.append
+    push_start = start.append
+    push_end = end.append
+    push_level = level.append
+    pos = offset
+    try:
+        # count
+        v = data[pos]
+        pos += 1
+        if v & 0x80:
+            v &= 0x7F
+            shift = 7
+            while True:
+                b = data[pos]
+                pos += 1
+                v |= (b & 0x7F) << shift
+                if not b & 0x80:
+                    break
+                shift += 7
+        count = v
+        cur_peer = cur_doc = cur_start = 0
+        for _ in range(count):
+            # delta(peer)
+            v = data[pos]
+            pos += 1
+            if v & 0x80:
+                v &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    v |= (b & 0x7F) << shift
+                    if not b & 0x80:
+                        break
+                    shift += 7
+            if v:
+                cur_peer += v
+                cur_doc = cur_start = 0
+            # delta-or-abs(doc)
+            v = data[pos]
+            pos += 1
+            if v & 0x80:
+                v &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    v |= (b & 0x7F) << shift
+                    if not b & 0x80:
+                        break
+                    shift += 7
+            if v:
+                cur_doc += v
+                cur_start = 0
+            # delta-or-abs(start)
+            v = data[pos]
+            pos += 1
+            if v & 0x80:
+                v &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    v |= (b & 0x7F) << shift
+                    if not b & 0x80:
+                        break
+                    shift += 7
+            cur_start += v
+            # end - start
+            v = data[pos]
+            pos += 1
+            if v & 0x80:
+                v &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    v |= (b & 0x7F) << shift
+                    if not b & 0x80:
+                        break
+                    shift += 7
+            span = v
+            # level
+            v = data[pos]
+            pos += 1
+            if v & 0x80:
+                v &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    v |= (b & 0x7F) << shift
+                    if not b & 0x80:
+                        break
+                    shift += 7
+            push_peer(cur_peer)
+            push_doc(cur_doc)
+            push_start(cur_start)
+            push_end(cur_start + span)
+            push_level(v)
+    except IndexError:
+        # report the position reached, like the per-varint decoder did
+        raise ValueError("truncated uvarint at offset %d" % pos) from None
+    return (peer, doc, start, end, level), pos
+
+
+# -- Bloom filter bit kernels ------------------------------------------------
+
+
+def bloom_set_batch(vector, bits, hashes, salt1, salt2, datas):
+    """Set the bit positions of every serialized item in ``datas``."""
+    for data in datas:
+        h1 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=salt1).digest(), "little"
+        )
+        h2 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=salt2).digest(), "little"
+        ) | 1
+        for i in range(hashes):
+            pos = (h1 + i * h2) % bits
+            vector[pos >> 3] |= 1 << (pos & 7)
+
+
+def bloom_test_batch(vector, bits, hashes, salt1, salt2, datas):
+    """Membership test for every serialized item; one bool per item."""
+    out = []
+    push = out.append
+    for data in datas:
+        h1 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=salt1).digest(), "little"
+        )
+        h2 = int.from_bytes(
+            blake2b(data, digest_size=8, salt=salt2).digest(), "little"
+        ) | 1
+        ok = True
+        for i in range(hashes):
+            pos = (h1 + i * h2) % bits
+            if not vector[pos >> 3] & (1 << (pos & 7)):
+                ok = False
+                break
+        push(ok)
+    return out

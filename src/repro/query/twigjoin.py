@@ -19,6 +19,7 @@ to keep TwigStack complete for those axes (it is only *optimal* for pure
 ``//`` patterns, as in the original paper).
 """
 
+from repro.postings import kernels
 from repro.postings.columnar import PostingColumns
 from repro.postings.plist import PostingList
 from repro.postings.posting import Posting
@@ -92,6 +93,23 @@ class _Stream:
         self.pos += 1
         self._skey = None
         self._ekey = None
+
+    def skip_end_lt(self, key):
+        """Advance past rows whose ``(peer, doc, end)`` sorts before ``key``.
+
+        Returns the number of rows consumed.  Equivalent to advancing
+        while ``cur_end_key() < key`` but runs as one kernel call, so
+        long skips (the TwigStack interval-probe fast-forward) go through
+        the vectorized backend instead of a per-row Python loop."""
+        pos = self.pos
+        new = kernels.active().seek_end_ge(
+            self.peer, self.doc, self.end, pos, self.n, key
+        )
+        if new != pos:
+            self.pos = new
+            self._skey = None
+            self._ekey = None
+        return new - pos
 
     @property
     def eof(self):
@@ -213,9 +231,7 @@ class TwigJoin:
         # starts cannot take part in any new solution: skip them.  At eof
         # the cursor keys are +inf, which ends the skip and fails the
         # `<= nmin_start` test, so no separate eof checks are needed.
-        while sq.cur_end_key() < nmax_start:
-            sq.advance()
-            self.postings_consumed += 1
+        self.postings_consumed += sq.skip_end_lt(nmax_start)
         if sq.cur_start_key() <= nmin_start:
             return q
         return alive[keys.index(nmin_start)]
@@ -289,9 +305,7 @@ class TwigJoin:
                     break
                 child_start = streams[qi + 1].cur_start_key()
                 sq = streams[qi]
-                while sq.cur_end_key() < child_start:
-                    sq.advance()
-                    consumed += 1
+                consumed += sq.skip_end_lt(child_start)
                 q_idx = qi if sq.cur_start_key() <= child_start else qi + 1
             stream = streams[q_idx]
             posting = stream.cur()
