@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-all lint trace fuzz-smoke telemetry-smoke bench-micro check-micro bench bench-views bench-blocks bench-serve bench-skew
+.PHONY: test test-all lint trace fuzz-smoke telemetry-smoke bench-micro check-micro bench bench-views bench-blocks bench-serve bench-skew bench-ingest
 
 # tier-1 gate: unit + integration-differential suites
 test:
@@ -25,6 +25,7 @@ fuzz-smoke:
 	$(PY) -m repro fuzz --seed 5000 --iterations 60 --write-quorum majority
 	$(PY) -m repro fuzz --seed 9000 --iterations 40 --crash-rate 0.15 \
 		--drop-rate 0.1 --delay-rate 0.1 --duplicate-rate 0.1
+	$(PY) -m repro fuzz --seed 3000 --iterations 60 --store-backend lsm
 
 # serving-clock telemetry smoke: a short skewed serve with the sampler +
 # SLO tracker on, schema-validated JSON export, and one EXPLAIN ANALYZE
@@ -77,3 +78,9 @@ bench-serve:
 # doubles as the CI regression baseline for the balanced p99 margin
 bench-skew:
 	$(PY) -m repro.experiments.skew_balance --out BENCH_skew.json
+
+# write-path ablation (batched vs doc-at-a-time publishing across the
+# three storage backends); refreshes the committed BENCH_ingest.json,
+# which CI gates the routed-message reduction against
+bench-ingest:
+	$(PY) -m repro.experiments.ingest --out BENCH_ingest.json

@@ -42,6 +42,7 @@ def _registry():
         fig7_reducers,
         fig9_fundex,
         filter_sensitivity,
+        ingest,
         pipeline_ablation,
         posting_skew,
         serving,
@@ -111,7 +112,13 @@ def _registry():
             lambda: store_ablation.run(list_sizes=(5_000, 20_000, 80_000)),
             store_ablation.format_rows,
             store_ablation.check_shape,
-            "Section 3 ablation: PAST store vs. B+-tree",
+            "Section 3 ablation: PAST store vs. B+-tree vs. LSM",
+        ),
+        "ingest": (
+            ingest.run,
+            ingest.format_rows,
+            ingest.check_shape,
+            "Write-path ablation: batched vs doc-at-a-time publishing",
         ),
         "pipeline": (
             lambda: pipeline_ablation.run(docs=30, num_peers=12),
@@ -455,6 +462,10 @@ def cmd_fuzz(args):
         serve_weight=args.serve_weight,
         hot_read_weight=args.hot_read_weight,
         rebalance_weight=args.rebalance_weight,
+        store_backend=args.store_backend,
+        bulk_publish_weight=args.bulk_publish_weight,
+        unpublish_weight=args.unpublish_weight,
+        compact_weight=args.compact_weight,
     )
     progress = None
     if not getattr(args, "json", False):
@@ -673,6 +684,26 @@ def main(argv=None):
         "--rebalance-weight", type=int, default=1,
         help="weight of the balance-tick step (decay + demotion + one"
         " rebalancer migration pass; 0 disables)",
+    )
+    fuzz_parser.add_argument(
+        "--store-backend", choices=("btree", "naive", "lsm"), default="btree",
+        help="per-peer storage backend the fuzzed networks use (no rng"
+        " draw, so LSM sweeps replay btree corpus seeds exactly)",
+    )
+    fuzz_parser.add_argument(
+        "--bulk-publish-weight", type=int, default=1,
+        help="weight of the batched-publish burst step (0 disables the"
+        " write-path steps' views draw and reproduces earlier campaigns)",
+    )
+    fuzz_parser.add_argument(
+        "--unpublish-weight", type=int, default=1,
+        help="weight of the document-withdrawal step (checks view"
+        " freshness after the delta; 0 disables)",
+    )
+    fuzz_parser.add_argument(
+        "--compact-weight", type=int, default=1,
+        help="weight of the LSM flush+fold step (checks store invariants"
+        " and content stability across compaction; 0 disables)",
     )
     fuzz_parser.add_argument(
         "--json", action="store_true", help="machine-readable JSON summary"

@@ -824,6 +824,89 @@ class DhtNetwork:
         behaviour the paper had to engineer away."""
         return self._write("put", src, key, _as_plist(postings), replicate)
 
+    def append_batch(self, src, key, postings, replicate=True):
+        """Bulk-publish insert: one amortized ``locate``, then the whole
+        batch in a single direct transfer to the located owner.
+
+        The routed ``append`` charges ``payload × hops`` wire bytes because
+        the postings ride the lookup; the bulk pipeline instead resolves the
+        owner once (control bytes × hops) and ships the batch point-to-point,
+        charged like the pipelined ops at ``payload × 1``.  Store effects are
+        identical to :meth:`append` of the same postings — only the wire
+        charging and the message count differ.
+
+        Under an active FaultPlan the direct transfer can be dropped (resend
+        after backoff) or the owner can crash before applying it (the retry
+        re-routes to the successor, charging a fresh control round)."""
+        postings = _as_plist(postings)
+        plan = self.faults
+        idx = (
+            plan.begin_op(self, "append_batch", key) if plan is not None else None
+        )
+        payload = encoded_size(postings)
+        owner, receipt = self.locate(src, key, _observe=False, _fault_idx=idx)
+        attempt = 0
+        while True:
+            fate = (
+                plan.request_fate(idx, attempt) if plan is not None else "deliver"
+            )
+            self.meter.record("postings", payload)
+            receipt.request_bytes += payload
+            if fate == "drop":
+                self._observe_fault("drop", key)
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, "append_batch", attempt, receipt)
+                continue
+            if plan is not None and plan.maybe_crash_owner(
+                self, idx, attempt, owner, protect=src
+            ):
+                # the batch reached a dying owner before it was applied;
+                # the retry must re-resolve the key to its successor
+                plan.stats.retries += 1
+                receipt.duration_s += self._retry_wait(attempt)
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self._timeout(plan, key, "append_batch", attempt, receipt)
+                owner, hops = self.route(src, key, fault_idx=idx)
+                self.meter.record("control", CONTROL_BYTES * max(1, hops))
+                receipt.hops += hops
+                receipt.request_bytes += CONTROL_BYTES
+                receipt.duration_s += self.cost.transfer_time(
+                    CONTROL_BYTES, hops=max(1, hops)
+                )
+                continue
+            break
+        receipt.duration_s += self.cost.transfer_time(payload, hops=1)
+        if plan is not None:
+            if fate == "delay":
+                self._observe_fault("delay", key)
+                receipt.duration_s += plan.delay_s
+            elif fate == "duplicate":
+                self._observe_fault("duplicate", key)
+                self.meter.record("postings", payload)
+                receipt.merge(
+                    OpReceipt(request_bytes=payload), count_bytes=False
+                )
+        stamp = self.next_stamp()
+        before = owner.store.stats.snapshot()
+        owner.store.append(key, postings)
+        owner.versions[key] = stamp
+        receipt.duration_s += owner.store.stats.delta_since(before).cost_seconds(
+            self.cost
+        )
+        if self.balancer is not None:
+            self.balancer.on_write(key, owner, payload)
+        if replicate:
+            receipt.merge(
+                self._replicate(owner, key, postings, fault_idx=idx, stamp=stamp)
+            )
+        if self.balancer is not None:
+            self.balancer.propagate_write("append", key, postings, stamp)
+        self._observe_op("append_batch", src, key, receipt, payload=payload)
+        return receipt
+
     def _write(self, op, src, key, postings, replicate):
         """Shared body of ``append`` and ``put`` (they differ only in the
         store primitive applied at the owner).

@@ -19,6 +19,15 @@ class KadopConfig:
 
     ``store``            ``"btree"`` (BerkeleyDB replacement) or ``"naive"``
                          (PAST-style read-modify-write store)
+    ``store_backend``    authoritative per-peer store selector:
+                         ``"btree"``, ``"naive"``, or ``"lsm"`` (memtable +
+                         sorted immutable runs with background compaction on
+                         the serving clock).  ``None`` (the default) resolves
+                         to ``store``, which keeps old configs and
+                         checkpoints working; when both are given they must
+                         agree unless ``store_backend`` is ``"lsm"``.
+                         Query answers are byte-identical across backends —
+                         only the store-time accounting differs
     ``use_append``       use the extended ``append`` API instead of ``put``
     ``pipelined_get``    stream posting lists instead of blocking ``get``
     ``chunk_postings``   pipeline chunk size, in postings
@@ -154,6 +163,7 @@ class KadopConfig:
     """
 
     store: str = "btree"
+    store_backend: str = None
     use_append: bool = True
     pipelined_get: bool = True
     chunk_postings: int = 2048
@@ -214,6 +224,15 @@ class KadopConfig:
             )
         if self.store not in ("btree", "naive"):
             raise ConfigError("store must be 'btree' or 'naive', got %r" % self.store)
+        if self.store_backend is None:
+            # resolved once here so checkpoints round-trip the effective
+            # backend; ``store`` remains the legacy two-way spelling
+            self.store_backend = self.store
+        if self.store_backend not in ("btree", "naive", "lsm"):
+            raise ConfigError(
+                "store_backend must be 'btree', 'naive', or 'lsm', got %r"
+                % (self.store_backend,)
+            )
         if self.filter_strategy not in (
             None, "ab", "db", "bloom", "subquery", "auto", "pushdown"
         ):

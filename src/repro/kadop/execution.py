@@ -1057,6 +1057,14 @@ class QueryExecutor:
             sent_bytes = 0
             matched = 0
             for doc_idx in doc_indexes:
+                if doc_idx not in peer.documents:
+                    # a candidate the peer no longer holds: an unpublished
+                    # document whose postings linger somewhere (a stale
+                    # view block awaiting its delta, or a resurrected
+                    # index copy from a crash-restarted replica).  The
+                    # document peer simply answers "no such document",
+                    # keeping answers sound under update-heavy churn
+                    continue
                 for postings, _incomplete in peer.evaluate(pattern, doc_idx):
                     answers.append(
                         Answer(

@@ -389,6 +389,14 @@ class ServingEngine:
                     # rate decay, hot-copy demotion, and migration passes
                     # all happen on the same simulated timeline as serving
                     balance.maybe_tick(clock)
+                for node in system.net.nodes:
+                    # LSM stores fold runs on the same serving clock the
+                    # balancer ticks on; other backends have no such hook.
+                    # Compaction preserves logical content, so answers stay
+                    # byte-identical — only store-time accounting moves
+                    compact = getattr(node.store, "maybe_compact", None)
+                    if compact is not None and node.alive:
+                        compact(clock)
                 self._process(seq, arrival, clock)
                 self._admitted += 1
                 admitted_per_src[arrival.src] = (

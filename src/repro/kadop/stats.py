@@ -41,6 +41,12 @@ class NetworkStats:
     hot_peers: list = field(default_factory=list)  # (read_bytes, peer)
     balance: dict = field(default_factory=dict)  # LoadBalancer.summary()
     kernel_backend: str = ""  # active repro.postings.kernels backend
+    store_backend: str = ""  # per-peer store implementation in use
+    # LSM internals (zero unless store_backend == "lsm"): frozen runs
+    # across peers, buffered memtable postings, and compaction folds
+    lsm_runs: int = 0
+    lsm_memtable_postings: int = 0
+    lsm_compactions: int = 0
 
     @property
     def gini(self):
@@ -77,6 +83,15 @@ class NetworkStats:
         ]
         if self.kernel_backend:
             lines.insert(1, "kernel backend: %s" % self.kernel_backend)
+        if self.store_backend:
+            line = "store backend: %s" % self.store_backend
+            if self.store_backend == "lsm":
+                line += "  (runs: %d  memtable postings: %d  compactions: %d)" % (
+                    self.lsm_runs,
+                    self.lsm_memtable_postings,
+                    self.lsm_compactions,
+                )
+            lines.insert(1, line)
         for count, term in self.hottest_terms:
             lines.append("  %8d  %s" % (count, term))
         if self.hot_keys or self.hot_peers:
@@ -236,13 +251,19 @@ def network_stats(system, top_terms=8):
     """Collect :class:`NetworkStats` for a live network."""
     from repro.postings import kernels
 
-    stats = NetworkStats(kernel_backend=kernels.backend_name())
+    stats = NetworkStats(
+        kernel_backend=kernels.backend_name(),
+        store_backend=getattr(system.config, "store_backend", "") or "",
+    )
     term_counts = {}
     for peer in system.peers:
         if not peer.node.alive:
             continue
         load = PeerLoad(peer_index=peer.index)
         store = peer.node.store
+        stats.lsm_runs += getattr(store, "num_runs", 0)
+        stats.lsm_memtable_postings += getattr(store, "memtable_entries", 0)
+        stats.lsm_compactions += getattr(store, "compactions", 0)
         for term in store.terms():
             if term.startswith("viewblk:"):
                 # view answer blocks are cache, not index: tallied apart

@@ -23,6 +23,7 @@ from repro.kadop.peer import KadopPeer
 from repro.query.xpath import parse_query
 from repro.sim.cost import CostModel
 from repro.storage.clustered import ClusteredIndexStore
+from repro.storage.lsm import LsmStore
 from repro.storage.naive_store import NaiveGzipStore
 
 
@@ -34,9 +35,11 @@ class KadopNetwork:
         from repro.postings import kernels
 
         kernels.apply_config(self.config.kernel_backend)
-        store_factory = (
-            ClusteredIndexStore if self.config.store == "btree" else NaiveGzipStore
-        )
+        store_factory = {
+            "btree": ClusteredIndexStore,
+            "naive": NaiveGzipStore,
+            "lsm": LsmStore,
+        }[self.config.store_backend]
         self.net = DhtNetwork(
             cost=CostModel(self.config.cost),
             replication=self.config.replication,

@@ -75,6 +75,19 @@ class FuzzConfig:
     #: reproduces pre-balance campaigns byte-for-byte
     hot_read_weight: int = 1
     rebalance_weight: int = 1
+    #: per-peer storage backend (no rng draw: the backend must not shift
+    #: the random stream, so LSM sweeps replay btree corpus seeds exactly)
+    store_backend: str = "btree"
+    #: weights of the write-path steps: ``bulk_publish`` pushes a burst
+    #: of documents through the batched pipeline, ``unpublish`` withdraws
+    #: a document and checks that every materialized view serves fresh
+    #: answers, ``compact`` flushes + folds one LSM store and diffs its
+    #: content against itself across the fold.  All three at 0 also pins
+    #: the ``use_views`` draw (no extra rng draws), reproducing
+    #: pre-write-path campaigns byte-for-byte
+    bulk_publish_weight: int = 1
+    unpublish_weight: int = 1
+    compact_weight: int = 1
 
 
 class FuzzFailure(AssertionError):
@@ -119,7 +132,8 @@ def repro_command(seed, cfg):
         " --steps %d --peers %d --replication %d --crash-rate %g"
         " --drop-rate %g --delay-rate %g --duplicate-rate %g --overlay %s"
         " --write-quorum %s --serve-weight %d --hot-read-weight %d"
-        " --rebalance-weight %d"
+        " --rebalance-weight %d --store-backend %s --bulk-publish-weight %d"
+        " --unpublish-weight %d --compact-weight %d"
         % (
             seed,
             cfg.steps,
@@ -134,6 +148,10 @@ def repro_command(seed, cfg):
             cfg.serve_weight,
             cfg.hot_read_weight,
             cfg.rebalance_weight,
+            cfg.store_backend,
+            cfg.bulk_publish_weight,
+            cfg.unpublish_weight,
+            cfg.compact_weight,
         )
     )
 
@@ -229,6 +247,28 @@ class _Iteration:
                 hot_key_threshold=64,
                 hot_key_copies=1,
             )
+        self.use_updates = (
+            cfg.bulk_publish_weight > 0
+            or cfg.unpublish_weight > 0
+            or cfg.compact_weight > 0
+        )
+        view_knobs = {}
+        self.use_views = False
+        if self.use_updates:
+            # same gating trick: the views draw only happens when a
+            # write-path action can run, so pre-write-path corpus seeds
+            # replay exactly.  A tiny materialization threshold plus tiny
+            # blocks means views actually form (and split) at fuzz scale;
+            # cost-based choice stays off so a formed view is always the
+            # serving path the freshness invariant exercises
+            self.use_views = self.rng.random() < 0.5
+            if self.use_views:
+                view_knobs = dict(
+                    use_views=True,
+                    view_auto_materialize_after=2,
+                    view_block_entries=2,
+                    view_cost_based=False,
+                )
         config = KadopConfig(
             replication=cfg.replication,
             overlay=cfg.overlay,
@@ -239,7 +279,9 @@ class _Iteration:
             # tiny chunks: multi-chunk streams happen at fuzz scale, so
             # crash-mid-pipelined_get is actually reachable
             chunk_postings=self.rng.choice((2, 4, 2048)),
+            store_backend=cfg.store_backend,
             **balance_knobs,
+            **view_knobs,
         )
         self.system = KadopNetwork.create(
             num_peers=cfg.num_peers, config=config, seed=seed
@@ -261,6 +303,7 @@ class _Iteration:
         self.step = 0
         self.joined = 0
         self.served_coalesced = 0  # single-flight joins across serve bursts
+        self.pruned_acked = 0  # durability claims ended by unpublish
 
     def fail(self, invariant, detail):
         raise FuzzFailure(
@@ -278,6 +321,18 @@ class _Iteration:
 
     def _alive_peers(self):
         return [p for p in self.system.peers if p.node.alive]
+
+    def _durable_keys(self, keys):
+        """Strip view soft state from a key diff: view blocks and catalog
+        records are single-copy, rebuildable caches outside the DHT's
+        durability claim (the integrity fallback in the view manager is
+        what defends their loss, not replication)."""
+        return {
+            key
+            for key in keys
+            if not str(key).startswith(("viewblk:", "viewdef:"))
+            and key != "viewdir"
+        }
 
     def act_publish(self):
         peer = self.rng.choice(self._alive_peers())
@@ -298,7 +353,7 @@ class _Iteration:
         # keys were acked too, but a snapshot diff cannot tell them apart
         # from keys an earlier cut-short publish left behind unacked —
         # under-approximating keeps the invariant free of false alarms
-        self.acked |= self.system.net._all_keys() - before
+        self.acked |= self._durable_keys(self.system.net._all_keys() - before)
 
     def act_join(self):
         if len(self.system.peers) >= self.cfg.num_peers + 4:
@@ -360,7 +415,9 @@ class _Iteration:
                 "%s: %d answer(s), oracle has %d, report says complete"
                 % (query_text, len(got), len(oracle)),
             )
-        if self.use_dpp and not report.unreachable_keys:
+        # a view-served query skips the index phase entirely, so block
+        # conservation only constrains base-index evaluations
+        if self.use_dpp and not report.view_hit and not report.unreachable_keys:
             expected = _expected_blocks(self.system, pattern)
             observed = report.blocks_fetched + report.blocks_skipped
             if observed != expected:
@@ -432,7 +489,11 @@ class _Iteration:
                     " complete"
                     % (query_text, len(got), len(oracle)),
                 )
-            if self.use_dpp and not served.report.unreachable_keys:
+            if (
+                self.use_dpp
+                and not served.report.view_hit
+                and not served.report.unreachable_keys
+            ):
                 expected = _expected_blocks(self.system, pattern)
                 observed = (
                     served.report.blocks_fetched
@@ -545,6 +606,198 @@ class _Iteration:
                     " tick" % (key, score, after.get(key)),
                 )
 
+    def act_bulk_publish(self):
+        """A burst of documents through the batched publish pipeline.
+
+        ``publish_batch`` buffers postings per destination key across the
+        whole batch and ships them with one amortized locate + one batched
+        append per key — the same acknowledged-keys durability contract as
+        doc-at-a-time publish, so the diffed keys join the durability set
+        exactly like :meth:`act_publish`'s."""
+        peer = self.rng.choice(self._alive_peers())
+        count = self.rng.randrange(2, 5)
+        xmls = [_random_xml(self.rng) for _ in range(count)]
+        uris = [
+            "fuzz:%d:%d:%d" % (self.seed, self.step, j) for j in range(count)
+        ]
+        before = self.system.net._all_keys()
+        try:
+            peer.publish_batch(xmls, uris=uris)
+        except (OpTimeoutError, NoSuchPeerError):
+            # the batch was cut short: the parsed documents are already
+            # registered on the peer but some destination keys never got
+            # their postings, so equality checks stand down
+            self.exact = False
+            return
+        self.acked |= self._durable_keys(self.system.net._all_keys() - before)
+
+    def act_unpublish(self):
+        """Withdraw one published document and hold views to freshness.
+
+        The withdrawn document's own term keys may legitimately vanish
+        from the DHT (their last postings deleted), so exactly those keys
+        leave the durability set when no alive holder remains — keys
+        shared with other documents keep their postings and stay acked."""
+        from repro.index.publisher import extract_postings
+
+        candidates = [p for p in self._alive_peers() if p.documents]
+        if not candidates:
+            return
+        peer = self.rng.choice(candidates)
+        doc_index = self.rng.choice(sorted(peer.documents))
+        publisher = self.system.publisher
+        doc_keys = set(
+            extract_postings(
+                peer.documents[doc_index],
+                peer.index,
+                doc_index,
+                granularity=publisher.granularity,
+                word_labels=publisher.word_labels,
+            )
+        )
+        try:
+            peer.unpublish(doc_index)
+        except (OpTimeoutError, NoSuchPeerError):
+            # deletes (or view maintenance) were cut short: the document
+            # is already off the peer, stray tombstone-less postings may
+            # linger, and a view may still hold the withdrawn postings —
+            # the document phase keeps answers sound regardless
+            self.exact = False
+            self._prune_acked(doc_keys)
+            return
+        self._prune_acked(doc_keys)
+        self._check_view_freshness(peer.index, doc_index)
+
+    def _prune_acked(self, doc_keys):
+        """End the durability claim for keys the unpublish emptied.
+
+        Deletes rewrite the *routed owner's* copy and stamp it; replicas
+        keep stale copies until anti-entropy pushes the deletion.  So a
+        withdrawn-doc key whose owner no longer holds it is logically
+        gone — counting its stale replica copies as "alive holders" would
+        turn their later crashes into false durability alarms.  The check
+        covers the physical keys derived from the doc's term keys too
+        (``dppdata:<term>``, ``overflow:<seq>:<term>``,
+        ``blockrep:<copy>:<seq>:<term>``)."""
+        net = self.system.net
+
+        def derived(key, term):
+            return key == term or key == "dppdata:" + term or key.endswith(
+                ":" + term
+            )
+
+        stale = set()
+        for key in self.acked:
+            if not any(derived(str(key), term) for term in doc_keys):
+                continue
+            owner = net.owner_of(key)
+            if key not in owner.store and key not in owner.objects:
+                stale.add(key)
+        self.pruned_acked += len(stale)
+        self.acked -= stale
+
+    def _check_view_freshness(self, peer_index, doc_index):
+        """Every materialized view must serve fresh answers after a delta.
+
+        Queries each view's own pattern through the full path — which
+        prefers the view — and checks that no answer binds the withdrawn
+        document and that the view-served result still matches the
+        oracle.  Crash injection pauses for the same reason it does in
+        :meth:`act_query`."""
+        views = self.system.views
+        if views is None:
+            return
+        src = self.rng.choice(self._alive_peers())
+        crash_rate = self.plan.crash_rate
+        self.plan.crash_rate = 0.0
+        try:
+            for view in list(views.catalog().values()):
+                if not view.materialized:
+                    continue
+                try:
+                    answers, report = self.system.executor.run(
+                        view.pattern, src
+                    )
+                except (OpTimeoutError, NoSuchPeerError):
+                    continue
+                withdrawn = [
+                    answer
+                    for answer in answers
+                    if any(
+                        p.peer == peer_index and p.doc == doc_index
+                        for _nid, p in answer.bindings
+                    )
+                ]
+                if withdrawn:
+                    self.fail(
+                        "view-stale-answer",
+                        "view %s still answers with withdrawn doc (%d, %d)"
+                        % (view.canonical, peer_index, doc_index),
+                    )
+                got = {answer.bindings for answer in answers}
+                oracle = _oracle(self.system, view.pattern, alive_only=True)
+                phantom = got - oracle
+                if phantom:
+                    self.fail(
+                        "phantom-answer",
+                        "view %s returned %d binding(s) not in the oracle"
+                        % (view.canonical, len(phantom)),
+                    )
+                if (
+                    self.exact
+                    and report.complete
+                    and not report.unreachable_keys
+                    and got != oracle
+                ):
+                    self.fail(
+                        "missing-answers",
+                        "view %s after unpublish: %d answer(s), oracle has"
+                        " %d, report says complete"
+                        % (view.canonical, len(got), len(oracle)),
+                    )
+                self.result.queries_checked += 1
+        finally:
+            self.plan.crash_rate = crash_rate
+
+    def act_compact(self):
+        """Flush + fold one LSM store; content must survive the fold.
+
+        Snapshots every term's reconstructed posting list, forces a flush
+        and one compaction step, then re-runs the store's own layer
+        invariants and diffs the content — a fold that drops, resurrects,
+        or reorders postings fails here long before a query would notice."""
+        stores = [
+            node.store
+            for node in self.system.net.alive_nodes()
+            if hasattr(node.store, "compact_tick")
+        ]
+        if not stores:
+            return
+        store = self.rng.choice(stores)
+        before = {
+            term: [tuple(p) for p in store.get(term)] for term in store.terms()
+        }
+        store.flush()
+        store.compact_tick()
+        try:
+            store.check_invariants()
+        except AssertionError as exc:
+            self.fail("store-invariants", str(exc))
+        after = {
+            term: [tuple(p) for p in store.get(term)] for term in store.terms()
+        }
+        if before != after:
+            drift = sorted(
+                term
+                for term in set(before) | set(after)
+                if before.get(term) != after.get(term)
+            )
+            self.fail(
+                "compaction-content-drift",
+                "flush+fold changed %d term(s), e.g. %s"
+                % (len(drift), drift[:3]),
+            )
+
     def check_durability(self):
         alive = self.system.net.alive_nodes()
         for key in self.acked:
@@ -573,6 +826,14 @@ class _Iteration:
             # a draw and consume no randomness, replaying old campaigns
             ("hot_read", self.act_hot_read, self.cfg.hot_read_weight),
             ("rebalance", self.act_rebalance, self.cfg.rebalance_weight),
+            # write-path actions, same zero-weight-replay contract
+            (
+                "bulk_publish",
+                self.act_bulk_publish,
+                self.cfg.bulk_publish_weight,
+            ),
+            ("unpublish", self.act_unpublish, self.cfg.unpublish_weight),
+            ("compact", self.act_compact, self.cfg.compact_weight),
         )
         names = [a[0] for a in actions]
         weights = [a[2] for a in actions]

@@ -35,7 +35,7 @@ from repro.query.index_plan import build_index_plan
 from repro.query.matcher import match_document, match_to_postings
 from repro.views.definition import ViewDefinition, canonical_pattern
 from repro.views.rewrite import equivalent, pick_view, subsumes, view_beats_base
-from repro.views.store import ViewBlockStore
+from repro.views.store import ViewBlockStore, ViewIntegrityError
 
 #: DHT key of the catalog directory object
 DIRECTORY_KEY = "viewdir"
@@ -107,6 +107,7 @@ class ViewManager:
         self.materializations = 0
         self.maintenance_added = 0
         self.maintenance_removed = 0
+        self.dematerializations = 0  # views dropped on integrity failure
         self._catalog = {}  # canonical -> ViewDefinition (disseminated copy)
         self._active = False  # recursion guard while materializing
 
@@ -233,6 +234,15 @@ class ViewManager:
         merged, fetch_s, first_s, _nbytes = self.store.fetch_all(
             src_peer.node, view
         )
+        if len(merged) != view.total_postings:
+            # integrity check: the fetched blocks disagree with the
+            # catalog metadata — a single-copy block holder crashed, or a
+            # maintenance delta landed on a successor while the real copy
+            # sits on a downed disk.  Serving from this view would
+            # silently lose answers, so treat it as a miss and fall back
+            # to the base index, charging the wasted probe
+            self.misses += 1
+            return ViewOutcome(overhead_s=decision_s + mat_s + fetch_s)
         merge_s = self.system.net.cost.join_time(len(merged))
         exact = view.canonical == canonical or equivalent(view.pattern, pattern)
         self.hits += 1
@@ -263,10 +273,20 @@ class ViewManager:
         for view in self._catalog.values():
             if not view.materialized:
                 continue
+            # the base index grew: the base-cost statistic cached at
+            # materialization time no longer describes it, so drop it and
+            # let the next cost-based decision re-measure (and re-cache).
+            # This holds even when the document contributes no answer
+            # postings — its terms still widened the base posting lists
+            view.base_bytes = None
             postings = self._root_postings(view.pattern, peer, doc_index, document)
             if not len(postings):
                 continue
-            self.store.append(peer.node, view, postings)
+            try:
+                self.store.append(peer.node, view, postings)
+            except ViewIntegrityError:
+                self._dematerialize(peer.node, view)
+                continue
             self._publish_record(peer.node, view)
             added += len(postings)
         self.maintenance_added += added
@@ -278,16 +298,43 @@ class ViewManager:
         for view in self._catalog.values():
             if not view.materialized:
                 continue
+            # mirror of on_publish: the withdrawn document shrank the base
+            # index, so the cached base-cost statistic is stale — without
+            # this, a warm view keeps comparing against the pre-unpublish
+            # base bytes and the cost-based gate serves from whichever side
+            # the dead statistic favours
+            view.base_bytes = None
             postings = self._root_postings(view.pattern, peer, doc_index, document)
             if not len(postings):
                 continue
-            count, _receipt = self.store.delete_doc(
-                peer.node, view, (peer.index, doc_index), postings.items()
-            )
+            try:
+                count, _receipt = self.store.delete_doc(
+                    peer.node, view, (peer.index, doc_index), postings.items()
+                )
+            except ViewIntegrityError:
+                self._dematerialize(peer.node, view)
+                continue
             self._publish_record(peer.node, view)
             removed += count
         self.maintenance_removed += removed
         return removed
+
+    def _dematerialize(self, src_node, view):
+        """Drop a view whose single-copy block state can no longer be
+        incrementally maintained (:class:`ViewIntegrityError`): the
+        catalog entry survives with its popularity, so a later hot query
+        re-materializes it from the base index.  Reachable block copies
+        are deleted best-effort; stranded ones are garbage under never
+        -reused block keys."""
+        for block in view.blocks:
+            holder, _hops = self.system.net.route(src_node, block.key)
+            if block.key in holder.store:
+                holder.store.delete(block.key)
+        view.materialized = False
+        view.blocks = []
+        view.base_bytes = None
+        self.dematerializations += 1
+        self._publish_record(src_node, view)
 
     # -- introspection ---------------------------------------------------------
 

@@ -100,11 +100,16 @@ def view_beats_base(view, plan, optimizer, src_peer):
 
     Materialized views carry the base cost their materializing run measured
     (``view.base_bytes``), so the usual decision is free.  For records
-    without the cached statistic the optimizer's statistics round is run
-    live (and charged).  Returns ``(view_wins, stats_time_s)``."""
+    without the cached statistic — fresh records, or views whose statistic
+    was invalidated by maintenance (publish/unpublish deltas change the
+    base index) — the optimizer's statistics round is run live (and
+    charged), and its result is cached back on the view so subsequent
+    decisions are free again until the next maintenance event.  Returns
+    ``(view_wins, stats_time_s)``."""
     if view.base_bytes is not None:
         return view.total_bytes < view.base_bytes, 0.0
     base, stats_s = base_index_bytes(plan, optimizer, src_peer)
+    view.base_bytes = base
     return view.total_bytes < base, stats_s
 
 

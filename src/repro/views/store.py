@@ -21,6 +21,17 @@ from repro.views.definition import ViewBlock, block_key
 VIEW_TRAFFIC = "views"
 
 
+class ViewIntegrityError(Exception):
+    """A block's routed holder disagrees with the catalog metadata.
+
+    View blocks are single-copy: when the holder a block key routes to no
+    longer has the postings the catalog says it has (its real holder
+    crashed and routing moved on, or a partial delete drifted), an
+    in-place mutation would silently discard the unreachable postings.
+    The manager reacts by dematerializing the view — incremental
+    maintenance falls back to recompute exactly when its base is lost."""
+
+
 class ViewBlockStore:
     """Reads and writes one network's view answer blocks."""
 
@@ -113,6 +124,11 @@ class ViewBlockStore:
     def _append_to_block(self, src_node, view, block, group):
         receipt = OpReceipt()
         holder, hops = self.net.route(src_node, block.key)
+        # verify before mutating in place: appending to a holder that
+        # lacks the block's postings would make _refresh_block shrink the
+        # catalog count to just the delta, losing the old answers
+        if holder.store.count(block.key) != block.count:
+            raise ViewIntegrityError(block.key)
         payload = encoded_size(group)
         self.net.meter.record(VIEW_TRAFFIC, payload * max(1, hops))
         receipt.hops += hops
@@ -192,6 +208,11 @@ class ViewBlockStore:
             ):
                 continue
             holder, hops = self.net.route(src_node, block.key)
+            # same verify-before-mutate guard as _append_to_block: a
+            # delete applied to a stale or empty copy would leave the
+            # catalog count describing postings nobody can reach
+            if holder.store.count(block.key) != block.count:
+                raise ViewIntegrityError(block.key)
             self.net.meter.record(VIEW_TRAFFIC, 32 * max(1, hops))
             receipt.duration_s += self.net.cost.transfer_time(32, hops=max(1, hops))
             changed = 0

@@ -14,7 +14,7 @@ class TestCli:
 
     def test_registry_complete(self):
         registry = _registry()
-        assert len(registry) == 17  # tables, figures, ablations, views, faults, serve, skew
+        assert len(registry) == 18  # tables, figures, ablations, views, faults, serve, skew, ingest
         for runner, formatter, checker, description in registry.values():
             assert callable(runner) and callable(formatter)
             assert description

@@ -87,6 +87,15 @@ class TestCorpus:
             assert balance["migrations"] >= expect["min_migrations"]
         if "min_fanout_reads" in expect:
             assert balance["fanout_reads"] >= expect["min_fanout_reads"]
+        if "min_pruned_acked" in expect:
+            assert iteration.pruned_acked >= expect["min_pruned_acked"]
+        if "min_view_dematerializations" in expect:
+            views = iteration.system.views
+            assert views is not None
+            assert (
+                views.dematerializations
+                >= expect["min_view_dematerializations"]
+            )
 
     def _replay_crash_chunk(self, entry):
         cfg = entry["config"]
@@ -125,6 +134,10 @@ class TestCorpus:
             overlay="chord",
             write_quorum="majority",
             serve_weight=2,
+            store_backend="lsm",
+            bulk_publish_weight=3,
+            unpublish_weight=2,
+            compact_weight=4,
         )
         command = repro_command(4321, cfg)
         # the printed line must pin *every* knob that shapes the scenario,
@@ -142,6 +155,10 @@ class TestCorpus:
             "--overlay chord",
             "--write-quorum majority",
             "--serve-weight 2",
+            "--store-backend lsm",
+            "--bulk-publish-weight 3",
+            "--unpublish-weight 2",
+            "--compact-weight 4",
         ):
             assert flag in command, flag
 

@@ -250,6 +250,72 @@ class TestCostBasedChoice:
         assert not report.view_hit  # cost-based choice fell back to base
 
 
+class TestMaintenanceCostCoherence:
+    """Regression: maintenance must invalidate the cached base-cost
+    statistic.  Before the fix, ``on_publish``/``on_unpublish`` updated the
+    view blocks but left ``view.base_bytes`` at its materialization-time
+    value, so the cost-based gate kept comparing against a base index that
+    no longer existed."""
+
+    def _oracle_answers(self, query, num_docs, unpublish=None):
+        """The same publish/unpublish history on a views-off network."""
+        config = KadopConfig(replication=1, use_views=False)
+        net = KadopNetwork.create(num_peers=6, config=config, seed=5)
+        docs = [
+            "<a><b> red </b><b> blue </b><c><b> green </b></c></a>",
+            "<a><c><d> red </d></c></a>",
+            "<e><a><b> blue </b></a></e>",
+            "<a><b> cyan </b><b> red </b></a>",
+        ]
+        for i in range(num_docs):
+            net.peers[i % 4].publish(docs[i % len(docs)], uri="u:%d" % i)
+        if unpublish is not None:
+            peer_idx, doc_index = unpublish
+            net.peers[peer_idx].unpublish(doc_index)
+        return [a.doc_id for a in net.query(query)]
+
+    def test_unpublish_invalidates_stale_base_cost(self):
+        net = build_net(num_docs=8, view_auto_materialize_after=1)
+        net.query("//a//b")  # materializes the warm view
+        view = next(iter(net.views.catalog().values()))
+        stale = view.base_bytes
+        assert stale is not None
+        doc_index = max(net.peers[0].documents)
+        net.peers[0].unpublish(doc_index)  # peer 0's docs contribute //a//b
+        # the delta was applied, and the dead statistic dropped with it
+        assert net.views.maintenance_removed > 0
+        assert view.base_bytes is None
+
+    def test_warm_view_serves_correct_answers_after_unpublish(self):
+        net = build_net(num_docs=8, view_auto_materialize_after=1)
+        net.query("//a//b")  # warm
+        view = next(iter(net.views.catalog().values()))
+        doc_index = max(net.peers[1].documents)
+        net.peers[1].unpublish(doc_index)
+        answers, report = net.query_with_report("//a//b")
+        expected = self._oracle_answers(
+            "//a//b", num_docs=8, unpublish=(1, doc_index)
+        )
+        assert [a.doc_id for a in answers] == expected
+        assert (1, doc_index) not in {a.doc_id for a in answers}
+        # the cost-based gate re-measured the post-unpublish base index
+        # live (and re-cached it) instead of trusting the dead statistic
+        assert view.base_bytes is not None
+
+    def test_publish_also_invalidates_then_requery_recaches(self):
+        net = build_net(num_docs=4, view_auto_materialize_after=1)
+        net.query("//a//b")  # warm
+        view = next(iter(net.views.catalog().values()))
+        net.peers[1].publish(
+            "<r><a><b> red </b></a><a><b> blue </b></a></r>", uri="u:new"
+        )
+        assert view.base_bytes is None
+        answers = net.query("//a//b")
+        assert view.base_bytes is not None
+        new_doc = max(net.peers[1].documents)
+        assert (1, new_doc) in {a.doc_id for a in answers}
+
+
 class TestStatsSurface:
     def test_view_counters_and_storage(self):
         net = build_net(view_auto_materialize_after=1, view_cost_based=False)
